@@ -1,0 +1,88 @@
+"""Table III — the sparse Transformer on ImageNet-64x64 generation.
+
+Paper setup: 3 layers, 8 heads, hidden 1,024, filter 4,096, sequence length
+12,288, batch 8, fp32 forward pass; attention mask = dense band 256 +
+distance-decayed random off-diagonal at 95 % sparsity (Figure 11), shared
+across heads and layers. Reference rows:
+
+                          Transformer   Sparse Transformer
+  Bits per dimension           3.76           3.77
+  V100 tokens/s                32,477         67,857   (2.09x)
+  V100 memory                  9.88 GB        0.77 GB  (12.8x)
+  GTX 1080 tokens/s            OOM            32,039
+  GTX 1080 memory              OOM            0.88 GB
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import mask_statistics
+from repro.gpu import GTX1080, V100
+from repro.nn import TransformerConfig, benchmark_transformer
+
+from conftest import banner
+
+PAPER = {
+    ("V100", "dense"): (32477, 9.88),
+    ("V100", "sparse"): (67857, 0.77),
+    ("1080", "sparse"): (32039, 0.88),
+}
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = TransformerConfig()
+    mask = config.attention_mask()
+    return config, mask
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_sparse_transformer(benchmark, setup, show):
+    config, mask = setup
+    benchmark(lambda: benchmark_transformer(config, V100, "dense"))
+
+    banner("Table III — sparse Transformer (seq 12,288, batch 8, fp32 fwd)")
+    stats = mask_statistics(mask, band=config.attention_band)
+    show(
+        f"attention mask (Fig. 11): nnz={mask.nnz:,}, causal sparsity "
+        f"{stats['causal_sparsity']:.3f}, off-band density "
+        f"{stats['off_band_density']:.3f} (target 0.05)"
+    )
+
+    rows = {}
+    for device, name in ((V100, "V100"), (GTX1080, "1080")):
+        for variant in ("dense", "sparse"):
+            r = benchmark_transformer(
+                config, device, variant, mask=mask if variant == "sparse" else None
+            )
+            rows[(name, variant)] = r
+            mem = f"{r.memory_gb:5.2f} GB" if r.fits else "  OOM   "
+            tput = f"{r.tokens_per_second:9,.0f}" if r.fits else "      OOM"
+            ref = PAPER.get((name, variant))
+            ref_str = (
+                f"   (paper: {ref[0]:,} tok/s, {ref[1]} GB)"
+                if ref
+                else "   (paper: OOM)"
+            )
+            show(
+                f"{name:>5s} {variant:6s} bits/dim {r.bits_per_dim:4.2f}  "
+                f"{tput} tok/s  {mem}{ref_str}"
+            )
+
+    v100_speedup = (
+        rows[("V100", "sparse")].tokens_per_second
+        / rows[("V100", "dense")].tokens_per_second
+    )
+    mem_ratio = (
+        rows[("V100", "dense")].memory_bytes
+        / rows[("V100", "sparse")].memory_bytes
+    )
+    show(f"\nV100 speedup: {v100_speedup:.2f}x (paper 2.09x, claim band 1.2-2.1x)")
+    show(f"V100 memory saving: {mem_ratio:.1f}x (paper 12.8x)")
+
+    assert 1.2 < v100_speedup < 2.5
+    assert mem_ratio == pytest.approx(12.8, rel=0.3)
+    assert not rows[("1080", "dense")].fits  # dense OOMs on the 1080
+    assert rows[("1080", "sparse")].fits
+    assert rows[("V100", "sparse")].memory_gb == pytest.approx(0.77, rel=0.25)

@@ -1,0 +1,95 @@
+"""Table IV + Figure 12 — sparse MobileNetV1 accuracy/runtime trade-off.
+
+Paper setup: batch-1 fp32 inference on V100; 1x1 convolutions pruned to
+90 % (first layer dense), batch norm fused, fused bias+ReLU everywhere, an
+oracle kernel selector for the 1x1s where the heuristic mispredicts.
+Reference rows (width, top-1, frames/s):
+
+  dense : 1.0/72.7%/2518   1.2/73.8%/2046   1.4/74.8%/1729
+  sparse: 1.3/72.9%/2874   1.4/73.3%/2706   1.5/73.8%/2537
+          1.6/74.1%/2366   1.7/74.4%/2226   1.8/74.9%/2095
+
+Headline: sparse models are 21-24 % faster at matched accuracy (~1.1 %
+more accurate at matched throughput).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu import V100
+from repro.nn import benchmark_mobilenet
+
+from conftest import banner
+
+DENSE_WIDTHS = (1.0, 1.2, 1.4)
+SPARSE_WIDTHS = (1.3, 1.4, 1.5, 1.6, 1.7, 1.8)
+
+PAPER_FPS = {
+    ("dense", 1.0): 2518, ("dense", 1.2): 2046, ("dense", 1.4): 1729,
+    ("sparse", 1.3): 2874, ("sparse", 1.4): 2706, ("sparse", 1.5): 2537,
+    ("sparse", 1.6): 2366, ("sparse", 1.7): 2226, ("sparse", 1.8): 2095,
+}
+
+
+@pytest.fixture(scope="module")
+def reports():
+    out = {}
+    for w in DENSE_WIDTHS:
+        out[("dense", w)] = benchmark_mobilenet(w, sparse=False, device=V100)
+    for w in SPARSE_WIDTHS:
+        # The paper applies its oracle selector to only four 1x1 layers; on
+        # this simulator the heuristic configs already match the paper's
+        # shape, and a whole-network oracle would overstate the gains.
+        out[("sparse", w)] = benchmark_mobilenet(
+            w, sparse=True, device=V100, use_oracle=False
+        )
+    return out
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_mobilenet(benchmark, reports, show):
+    benchmark(lambda: benchmark_mobilenet(1.0, sparse=False, device=V100))
+
+    banner("Table IV — sparse MobileNetV1 (batch-1 inference, V100)")
+    show(f"{'model':>7s} {'width':>6s} {'top-1':>7s} {'fps':>7s} {'paper fps':>10s}")
+    for (variant, w), r in sorted(reports.items()):
+        show(
+            f"{variant:>7s} {w:6.1f} {100 * r.accuracy:6.1f}% "
+            f"{r.throughput_fps:7.0f} {PAPER_FPS[(variant, w)]:10d}"
+        )
+
+    # Figure 12's headline: iso-accuracy speedups of ~21-24%.
+    banner("Figure 12 — accuracy-runtime trade-off (iso-accuracy speedups)")
+    matchups = [
+        (("dense", 1.0), ("sparse", 1.3)),
+        (("dense", 1.2), ("sparse", 1.5)),
+        (("dense", 1.4), ("sparse", 1.8)),
+    ]
+    speedups = []
+    for dense_key, sparse_key in matchups:
+        d, s = reports[dense_key], reports[sparse_key]
+        sp = s.throughput_fps / d.throughput_fps
+        speedups.append(sp)
+        show(
+            f"dense w{dense_key[1]} ({100 * d.accuracy:.1f}%) vs sparse "
+            f"w{sparse_key[1]} ({100 * s.accuracy:.1f}%): {100 * (sp - 1):+.0f}% "
+            "(paper: +21-24%)"
+        )
+
+    oracle = benchmark_mobilenet(1.3, sparse=True, device=V100, use_oracle=True)
+    show(
+        f"oracle selector on every 1x1 (paper used it on 4 layers): sparse "
+        f"w1.3 {oracle.throughput_fps:.0f} fps — 'better kernel selection "
+        "heuristics could greatly improve performance' (Section VII-B)"
+    )
+
+    # Shape assertions: every matchup favors sparse; mean in a plausible band.
+    assert all(sp > 1.0 for sp in speedups)
+    assert 1.05 < float(np.mean(speedups)) < 1.6
+    # Runtime ordering within each family is monotone in width.
+    dense_fps = [reports[("dense", w)].throughput_fps for w in DENSE_WIDTHS]
+    sparse_fps = [reports[("sparse", w)].throughput_fps for w in SPARSE_WIDTHS]
+    assert all(a > b for a, b in zip(dense_fps, dense_fps[1:]))
+    assert all(a > b for a, b in zip(sparse_fps, sparse_fps[1:]))

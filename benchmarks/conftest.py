@@ -1,0 +1,34 @@
+"""Shared benchmark utilities.
+
+Every benchmark in this directory regenerates one of the paper's tables or
+figures: it prints the same rows/series the paper reports, plus explicit
+"paper vs measured" comparison lines that feed EXPERIMENTS.md. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The printed artifact is the deliverable; the pytest-benchmark timings
+measure the harness itself (simulation throughput), not GPU kernels.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+@pytest.fixture(scope="session")
+def show(request):
+    """Print helper that survives pytest's output capture settings."""
+
+    def _show(*args, **kwargs):
+        print(*args, **kwargs)
+        sys.stdout.flush()
+
+    return _show

@@ -1,0 +1,61 @@
+"""Weight-sparse recurrent networks: the Figure 1 / Figure 10 workload.
+
+Runs an LSTM with 90 %-sparse weights over a sequence, timing every step on
+the simulated V100, and sweeps sparsity on the Figure 1 problem to find
+where sparse computation overtakes dense.
+
+Run:  python examples/sparse_rnn.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import V100
+from repro.bench import dense_spmm_time, sputnik_spmm_time
+from repro.datasets import MatrixSpec
+from repro.nn import Profile, random_cell
+
+
+def lstm_sequence_demo() -> None:
+    hidden, batch, steps = 1024, 64, 8
+    cell = random_cell("lstm", hidden, sparsity=0.9, seed=0)
+    rng = np.random.default_rng(1)
+
+    h = np.zeros((hidden, batch), np.float32)
+    c = np.zeros((hidden, batch), np.float32)
+    profile = Profile()
+    for _ in range(steps):
+        x = rng.standard_normal((hidden, batch)).astype(np.float32)
+        h, c = cell.step(x, (h, c), V100, profile)
+
+    print(f"sparse LSTM: hidden {hidden}, batch {batch}, {steps} steps")
+    print(f"  simulated time: {profile.runtime_s * 1e3:.3f} ms "
+          f"({profile.runtime_s / steps * 1e6:.1f} us/step)")
+    print(f"  kernels: {', '.join(profile.by_kernel())}")
+    print(f"  hidden-state norm stays bounded: {np.linalg.norm(h):.1f}")
+
+
+def figure1_sweep() -> None:
+    m, k, n = 8192, 2048, 128  # the Figure 1 LSTM problem
+    print(f"\nFigure 1 sweep (M={m}, K={k}, N={n}):")
+    print(f"  {'sparsity':>9s} {'sparse (us)':>12s} {'dense (us)':>11s} {'winner':>7s}")
+    dense_t = None
+    for sparsity in (0.6, 0.7, 0.8, 0.9, 0.95):
+        cov = float(np.sqrt(sparsity / ((1 - sparsity) * k)))
+        a = MatrixSpec(
+            "ex", "lstm", "w", m, k, sparsity, cov, seed=3
+        ).materialize()
+        sparse_t = sputnik_spmm_time(a, n, V100).runtime_s
+        if dense_t is None:
+            dense_t = dense_spmm_time(a, n, V100).runtime_s
+        winner = "sparse" if sparse_t < dense_t else "dense"
+        print(f"  {sparsity:9.2f} {sparse_t * 1e6:12.1f} {dense_t * 1e6:11.1f} "
+              f"{winner:>7s}")
+    print("  -> sparse overtakes dense at moderate sparsity "
+          "(paper: ~71% on real hardware)")
+
+
+if __name__ == "__main__":
+    lstm_sequence_demo()
+    figure1_sweep()

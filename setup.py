@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets ``pip install -e . --no-use-pep517`` work in
+offline environments that lack the ``wheel`` package (all metadata lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

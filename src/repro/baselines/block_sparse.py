@@ -1,0 +1,125 @@
+"""Block-sparse GPU kernel baseline (Gray, Radford & Kingma 2017).
+
+The paper's introduction contrasts unstructured sparsity with approaches
+that force nonzeros into dense blocks: "while this approach is able to
+recover much of the performance achieved by dense computation, the
+constraint on the location of nonzeros can significantly degrade model
+quality". This module provides that comparator:
+
+- :func:`block_sparse_spmm` — a block-sparse matmul costed like a family of
+  small dense GEMM tiles (near-dense efficiency per *stored* element);
+- :func:`constrain_to_blocks` — impose block structure on an unstructured
+  matrix under a fixed storage budget, reporting how much of the weight
+  magnitude survives (the quality-loss proxy for the trade-off the paper
+  cites [14]-[16]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.types import KernelResult
+from ..gpu.device import DeviceSpec
+from ..gpu.executor import BlockCosts, KernelLaunch, execute
+from ..gpu.memory import dram_bytes_with_reuse
+from ..gpu.occupancy import BlockResources
+from ..sparse.blocked import BlockSparseMatrix
+from ..sparse.csr import CSRMatrix
+
+#: Output columns covered per thread block pass.
+TILE_N = 64
+#: Fraction of issued FMAs that are useful inside a stored block (small
+#: dense tiles carry more prologue/epilogue than cuBLAS's 128x128 ones).
+FMA_EFFICIENCY = 0.75
+
+
+def spmm_launch(
+    a: BlockSparseMatrix, n: int, device: DeviceSpec
+) -> KernelLaunch:
+    """Cost model: one thread block per (block-row, 64-column tile); its
+    stored blocks stream through shared memory and run dense math."""
+    bs = a.block_size
+    warp = device.warp_size
+    gx = -(-n // TILE_N)
+    block_rows = a.shape[0] // bs
+    lengths = np.diff(a.block_row_offsets).astype(np.float64)
+
+    # Dense math on bs x bs x TILE_N per stored block.
+    fma = lengths * bs * bs * TILE_N / FMA_EFFICIENCY / warp
+    loads = lengths * (bs * bs + bs * TILE_N) / (warp * 4)
+    other = loads + lengths * 2.0 + 20.0
+    smem = lengths * (bs * bs + bs * TILE_N) * 4.0 * 2.0
+
+    a_bytes = lengths * bs * bs * 4.0
+    b_bytes = lengths * bs * TILE_N * 4.0
+    c_bytes = np.full(block_rows, float(bs * TILE_N * 4))
+
+    load_bytes = np.tile(a_bytes + b_bytes, gx)
+    total = float(load_bytes.sum())
+    unique = min(a.nnz_stored * 4.0 + a.shape[1] * n * 4.0, total)
+    dram = dram_bytes_with_reuse(total, unique, device.l2_capacity)
+    ratio = dram / total if total else 0.0
+
+    return KernelLaunch(
+        name=f"block_sparse_spmm_b{bs}",
+        n_blocks=block_rows * gx,
+        resources=BlockResources(
+            threads=128,
+            shared_mem_bytes=int((bs * bs + bs * TILE_N) * 4 * 2),
+            registers_per_thread=64,
+        ),
+        costs=BlockCosts(
+            fma_instructions=np.tile(fma, gx),
+            other_instructions=np.tile(other, gx),
+            dram_bytes=load_bytes * ratio + np.tile(c_bytes, gx),
+            l2_bytes=load_bytes * (1.0 - ratio),
+            smem_bytes=np.tile(smem, gx),
+        ),
+        # Useful FLOPs count the true nonzeros; the padding zeros inside
+        # stored blocks are wasted work the structure forces.
+        flops=2.0 * float(np.count_nonzero(a.blocks)) * n,
+        pipeline_efficiency=0.85,
+    )
+
+
+def block_sparse_spmm(
+    a: BlockSparseMatrix, b: np.ndarray, device: DeviceSpec
+) -> KernelResult:
+    """Block-sparse ``A @ B``: exact numerics + modelled cost."""
+    b = np.asarray(b, dtype=np.float32)
+    if b.ndim != 2 or b.shape[0] != a.shape[1]:
+        raise ValueError(f"B shape {b.shape} incompatible with A {a.shape}")
+    launch = spmm_launch(a, b.shape[1], device)
+    return KernelResult(output=a.matmul(b), execution=execute(launch, device))
+
+
+def constrain_to_blocks(
+    a: CSRMatrix, block_size: int
+) -> tuple[BlockSparseMatrix, float]:
+    """Impose block structure under the same storage budget.
+
+    Keeps the blocks with the largest Frobenius mass until the stored
+    element count reaches the unstructured matrix's nnz. Returns the
+    block-sparse matrix and the fraction of the original weight magnitude
+    it retains — the structured-sparsity quality proxy (values dropped by
+    the block constraint are what degrades model accuracy).
+    """
+    dense = a.to_dense().astype(np.float32)
+    rows, cols = dense.shape
+    bs = block_size
+    if rows % bs or cols % bs:
+        raise ValueError(f"shape {a.shape} not divisible by block size {bs}")
+    tiles = dense.reshape(rows // bs, bs, cols // bs, bs).swapaxes(1, 2)
+    mass = np.abs(tiles).sum(axis=(2, 3))
+    budget_blocks = max(1, a.nnz // (bs * bs))
+    flat = np.argsort(-mass.ravel())[:budget_blocks]
+    keep = np.zeros(mass.shape, dtype=bool)
+    keep.ravel()[flat] = True
+
+    constrained = np.where(
+        np.repeat(np.repeat(keep, bs, axis=0), bs, axis=1), dense, 0.0
+    )
+    total_mass = float(np.abs(dense).sum())
+    kept_mass = float(np.abs(constrained).sum())
+    bsr = BlockSparseMatrix.from_dense(constrained, bs)
+    return bsr, (kept_mass / total_mass if total_mass else 1.0)

@@ -1,0 +1,46 @@
+"""Benchmark harness: cost-only kernel timers, problem sweeps, and the
+speedup statistics the paper's tables report."""
+
+from .report import (
+    SpeedupStats,
+    format_table,
+    geometric_mean,
+    pair_rows,
+    paper_comparison,
+    peak_fraction,
+    speedup_stats,
+)
+from .runner import (
+    BenchRow,
+    aspt_sddmm_time,
+    aspt_spmm_time,
+    cusparse_sddmm_time,
+    cusparse_spmm_time,
+    dense_spmm_time,
+    merge_spmm_time,
+    run_sddmm_suite,
+    run_spmm_suite,
+    sputnik_sddmm_time,
+    sputnik_spmm_time,
+)
+
+__all__ = [
+    "BenchRow",
+    "run_spmm_suite",
+    "run_sddmm_suite",
+    "sputnik_spmm_time",
+    "sputnik_sddmm_time",
+    "cusparse_spmm_time",
+    "cusparse_sddmm_time",
+    "merge_spmm_time",
+    "aspt_spmm_time",
+    "aspt_sddmm_time",
+    "dense_spmm_time",
+    "SpeedupStats",
+    "speedup_stats",
+    "pair_rows",
+    "geometric_mean",
+    "format_table",
+    "paper_comparison",
+    "peak_fraction",
+]

@@ -1,0 +1,79 @@
+"""The paper's contribution: Sputnik-style sparse kernels for deep learning.
+
+Public entry points:
+
+- :func:`spmm` — sparse matrix × dense matrix (Section V).
+- :func:`sddmm` — sampled dense–dense matmul, ``A B^T ∘ I[C]`` (Section VI).
+- :func:`sparse_softmax` — row softmax over CSR values (Section VII-C).
+- :func:`select_spmm_config` / :func:`select_sddmm_config` /
+  :func:`oracle_spmm_config` — kernel selection (Section VII).
+- :class:`SpmmConfig` / :class:`SddmmConfig` — per-optimization toggles for
+  ablation (Table II).
+"""
+
+from .csc_spmm import csc_as_transposed_csr, spmm_csc
+from .config import Precision, SddmmConfig, SpmmConfig, value_dtype
+from .roma import (
+    ROMA_MASK_INSTRUCTIONS,
+    ROMA_PRELUDE_INSTRUCTIONS,
+    AlignedRows,
+    align_rows,
+    masked_gather,
+    unaligned_rows,
+)
+from .sddmm import sddmm
+from .selection import (
+    next_power_of_two,
+    oracle_spmm_config,
+    pad_batch_for_vectors,
+    select_sddmm_config,
+    select_spmm_config,
+    spmm_candidates,
+    widest_vector_width,
+)
+from .sparse_softmax import sparse_softmax
+from .spmm import spmm
+from .swizzle import (
+    bundle_rows,
+    bundle_weights,
+    identity_swizzle,
+    paired_first_wave_order,
+    row_swizzle,
+    swizzled_row_groups,
+)
+from .tiling import SpmmTiling, derive_tiling
+from .types import KernelResult
+
+__all__ = [
+    "spmm",
+    "spmm_csc",
+    "csc_as_transposed_csr",
+    "sddmm",
+    "sparse_softmax",
+    "SpmmConfig",
+    "SddmmConfig",
+    "Precision",
+    "value_dtype",
+    "KernelResult",
+    "SpmmTiling",
+    "derive_tiling",
+    "select_spmm_config",
+    "select_sddmm_config",
+    "oracle_spmm_config",
+    "spmm_candidates",
+    "pad_batch_for_vectors",
+    "next_power_of_two",
+    "widest_vector_width",
+    "row_swizzle",
+    "identity_swizzle",
+    "bundle_rows",
+    "bundle_weights",
+    "paired_first_wave_order",
+    "swizzled_row_groups",
+    "align_rows",
+    "unaligned_rows",
+    "masked_gather",
+    "AlignedRows",
+    "ROMA_PRELUDE_INSTRUCTIONS",
+    "ROMA_MASK_INSTRUCTIONS",
+]

@@ -1,0 +1,151 @@
+"""Kernel configurations for the Sputnik-style SpMM and SDDMM kernels.
+
+Every optimization from Sections V and VI is an independent toggle so the
+Table II ablation can switch each one off in isolation:
+
+- ``vector_width``     — vector memory instructions (Section V-B);
+- ``roma``             — reverse-offset memory alignment (Section V-B2);
+- ``load_balance``     — row-swizzle load balancing (Section V-C);
+- ``residue_unroll``   — split/unrolled residue handling (Section V-D2);
+- ``index_prescale``   — index pre-scaling into shared memory (V-D1);
+- ``precision``        — fp32 or the mixed fp16/fp32 regime (V-D3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Literal
+
+import numpy as np
+
+from ..gpu.memory import validate_vector_width
+
+Precision = Literal["fp32", "mixed"]
+
+
+def _validate_precision(precision: str) -> None:
+    if precision not in ("fp32", "mixed"):
+        raise ValueError(f"precision must be 'fp32' or 'mixed', got {precision!r}")
+
+
+def value_dtype(precision: Precision) -> np.dtype:
+    """Value dtype of the sparse operand under a precision regime."""
+    _validate_precision(precision)
+    return np.dtype(np.float16 if precision == "mixed" else np.float32)
+
+
+@dataclass(frozen=True)
+class SpmmConfig:
+    """Compile-time template parameters + optimization toggles for SpMM.
+
+    ``block_items_x`` is the 1-D output-tile width (``kBlockItemsX``),
+    ``block_items_k`` the sparse values staged per main-loop iteration
+    (``kBlockItemsK``), and ``warps_per_block`` the block's warp count;
+    the rows-per-block (``kBlockItemsY``) follow from subwarp tiling — see
+    :mod:`repro.core.tiling`.
+    """
+
+    block_items_x: int = 32
+    block_items_k: int = 32
+    warps_per_block: int = 4
+    vector_width: int = 4
+    roma: bool = True
+    load_balance: bool = True
+    residue_unroll: bool = True
+    index_prescale: bool = True
+    precision: Precision = "fp32"
+
+    def __post_init__(self) -> None:
+        validate_vector_width(self.vector_width)
+        _validate_precision(self.precision)
+        if self.block_items_x <= 0 or self.block_items_x % self.vector_width:
+            raise ValueError(
+                f"block_items_x={self.block_items_x} must be a positive "
+                f"multiple of vector_width={self.vector_width}"
+            )
+        if self.block_items_k <= 0 or self.block_items_k % self.vector_width:
+            raise ValueError("block_items_k must be a multiple of vector_width")
+        if self.warps_per_block <= 0:
+            raise ValueError("warps_per_block must be positive")
+        if self.precision == "mixed" and self.index_prescale:
+            # Section V-D3: 16-bit indices cannot hold pre-scaled offsets.
+            object.__setattr__(self, "index_prescale", False)
+
+    def without(self, optimization: str) -> "SpmmConfig":
+        """Return a copy with one named optimization disabled (for ablation)."""
+        if optimization == "vector":
+            return replace(
+                self,
+                vector_width=1,
+                block_items_x=self.block_items_x,
+                block_items_k=self.block_items_k,
+            )
+        if optimization == "roma":
+            return replace(self, roma=False)
+        if optimization == "load_balance":
+            return replace(self, load_balance=False)
+        if optimization == "residue_unroll":
+            return replace(self, residue_unroll=False)
+        if optimization == "index_prescale":
+            return replace(self, index_prescale=False)
+        raise ValueError(f"unknown SpMM optimization {optimization!r}")
+
+    @property
+    def value_dtype(self) -> np.dtype:
+        return value_dtype(self.precision)
+
+    @property
+    def element_bytes(self) -> int:
+        return self.value_dtype.itemsize
+
+    @property
+    def index_bytes(self) -> int:
+        return 2 if self.precision == "mixed" else 4
+
+
+@dataclass(frozen=True)
+class SddmmConfig:
+    """Template parameters + toggles for the SDDMM kernel (Section VI).
+
+    ``nonzeros_per_block`` is the 1-D strip of consecutive output nonzeros a
+    thread block owns (the paper uses an n-dimension tile of 32). The scalar
+    variant (``vector_width=1``) also uses a smaller strip, which raises the
+    block count — the occupancy effect behind the ablation's finding that
+    scalar SDDMM wins on small problems (Section VII-B).
+
+    The paper's footnote 1 extensions are supported:
+
+    - ``scale_by_values`` — the textbook SDDMM ``A B^T ∘ C`` (one extra load
+      and multiply before the store);
+    - ``transposed_rhs=False`` — the general ``A B ∘ I[C]`` with a
+      non-transposed right operand, whose accesses are trivially coalesced
+      and which drops the warp-shuffle reduction;
+    - ``dynamic_parallelism`` — launch child grids per row instead of
+      over-provisioning (the Section VI-A alternative for very high
+      sparsity).
+    """
+
+    nonzeros_per_block: int = 32
+    vector_width: int = 4
+    load_balance: bool = True
+    precision: Precision = "fp32"
+    scale_by_values: bool = False
+    transposed_rhs: bool = True
+    dynamic_parallelism: bool = False
+
+    def __post_init__(self) -> None:
+        validate_vector_width(self.vector_width)
+        _validate_precision(self.precision)
+        if self.nonzeros_per_block <= 0 or self.nonzeros_per_block > 32:
+            raise ValueError("nonzeros_per_block must be in 1..32")
+
+    def without(self, optimization: str) -> "SddmmConfig":
+        if optimization == "vector":
+            return replace(self, vector_width=1, nonzeros_per_block=8)
+        if optimization == "load_balance":
+            return replace(self, load_balance=False)
+        raise ValueError(f"unknown SDDMM optimization {optimization!r}")
+
+    @property
+    def value_dtype(self) -> np.dtype:
+        return value_dtype(self.precision)

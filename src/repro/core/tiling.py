@@ -1,0 +1,95 @@
+"""Hierarchical 1-D tiling and subwarp tiling geometry (Sections V-A, V-B1).
+
+The output matrix is statically sharded into 1-D tiles of
+``block_items_x`` columns by one row. Subwarp tiling maps subsets of a warp
+to independent tiles: a subwarp of ``subwarp_threads`` lanes owns one row's
+tile, so a warp covers ``subwarps_per_warp`` rows and a thread block covers
+
+    block_items_y = warps_per_block * subwarps_per_warp
+
+rows. This module derives all of that geometry from a :class:`SpmmConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import SpmmConfig
+
+
+@dataclass(frozen=True)
+class SpmmTiling:
+    """Concrete tiling geometry for one SpMM configuration.
+
+    Attributes:
+        block_items_x: output-tile width in elements (``kBlockItemsX``).
+        block_items_k: sparse elements staged per main-loop step.
+        subwarp_threads: lanes cooperating on one 1-D tile.
+        subwarps_per_warp: independent row tiles per warp (``>1`` is
+            subwarp tiling).
+        warps_per_block: warps in the thread block.
+        thread_items_x: output elements owned by each lane.
+    """
+
+    block_items_x: int
+    block_items_k: int
+    subwarp_threads: int
+    subwarps_per_warp: int
+    warps_per_block: int
+    thread_items_x: int
+    vector_width: int
+    warp_size: int = 32
+
+    @property
+    def block_items_y(self) -> int:
+        """Rows of the output matrix covered by one thread block."""
+        return self.warps_per_block * self.subwarps_per_warp
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.warps_per_block * self.warp_size
+
+    def grid(self, m: int, n: int) -> tuple[int, int]:
+        """``(grid_x, grid_y)`` thread-block counts for an ``m x n`` output."""
+        if m <= 0 or n <= 0:
+            raise ValueError("output dimensions must be positive")
+        gx = -(-n // self.block_items_x)
+        gy = -(-m // self.block_items_y)
+        return gx, gy
+
+
+def derive_tiling(config: SpmmConfig, warp_size: int = 32) -> SpmmTiling:
+    """Derive subwarp-tiling geometry from an SpMM configuration.
+
+    The subwarp needs ``block_items_x / vector_width`` lanes to cover its
+    tile with one vector access each; if that is fewer than a warp, multiple
+    subwarps share the warp (Section V-B1). Tiles wider than a warp's vector
+    footprint instead give each lane multiple vector elements.
+    """
+    lanes_needed = config.block_items_x // config.vector_width
+    if lanes_needed >= warp_size:
+        if lanes_needed % warp_size:
+            raise ValueError(
+                f"block_items_x={config.block_items_x} with vector width "
+                f"{config.vector_width} does not pack into {warp_size}-lane warps"
+            )
+        subwarp_threads = warp_size
+        subwarps = 1
+    else:
+        if warp_size % lanes_needed:
+            raise ValueError(
+                f"subwarp of {lanes_needed} lanes does not divide a warp"
+            )
+        subwarp_threads = lanes_needed
+        subwarps = warp_size // lanes_needed
+    thread_items = config.block_items_x // subwarp_threads
+    return SpmmTiling(
+        block_items_x=config.block_items_x,
+        block_items_k=config.block_items_k,
+        subwarp_threads=subwarp_threads,
+        subwarps_per_warp=subwarps,
+        warps_per_block=config.warps_per_block,
+        thread_items_x=thread_items,
+        vector_width=config.vector_width,
+        warp_size=warp_size,
+    )

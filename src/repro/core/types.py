@@ -1,0 +1,28 @@
+"""Common result type returned by every kernel (ours and the baselines)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..gpu.executor import ExecutionResult
+
+
+@dataclass
+class KernelResult:
+    """A kernel's numeric output paired with its simulated execution.
+
+    ``output`` is a dense ``np.ndarray`` for SpMM-like kernels and a
+    :class:`~repro.sparse.CSRMatrix` for SDDMM-like kernels.
+    """
+
+    output: Any
+    execution: ExecutionResult
+
+    @property
+    def runtime_s(self) -> float:
+        return self.execution.runtime_s
+
+    @property
+    def throughput_flops(self) -> float:
+        return self.execution.throughput_flops

@@ -1,0 +1,94 @@
+"""Sparse attention masks for the Transformer experiment (Figure 11).
+
+The paper's sparse Transformer uses a fixed attention connectivity: "a dense
+band of size 256 along the diagonal and random sparsity off-diagonal sampled
+with probability inversely proportional to the distance from the diagonal",
+with off-diagonal sparsity 95 %. The upper triangle is masked (causal
+attention), the mask is shared across heads and layers, and it stays fixed
+through training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+
+
+def banded_random_mask(
+    sequence_length: int,
+    band: int = 256,
+    off_diagonal_sparsity: float = 0.95,
+    seed: int = 0,
+) -> CSRMatrix:
+    """Build the Figure 11 attention mask as a CSR indicator matrix.
+
+    Row ``i`` may attend to column ``j <= i`` (causal). Columns within
+    ``band`` of the diagonal are always connected; farther columns are kept
+    with probability ``(1 - off_diagonal_sparsity) * band / (i - j)`` —
+    inversely proportional to distance, scaled so the *average* off-diagonal
+    density matches the target on long rows.
+    """
+    if sequence_length <= 0:
+        raise ValueError("sequence length must be positive")
+    if band <= 0:
+        raise ValueError("band must be positive")
+    if not 0.0 <= off_diagonal_sparsity < 1.0:
+        raise ValueError("off-diagonal sparsity must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    density = 1.0 - off_diagonal_sparsity
+
+    row_offsets = np.zeros(sequence_length + 1, dtype=np.int64)
+    all_cols: list[np.ndarray] = []
+    for i in range(sequence_length):
+        band_start = max(0, i - band + 1)
+        cols = [np.arange(band_start, i + 1)]
+        if band_start > 0:
+            # Keep probability ∝ 1/distance, normalized per row so the
+            # expected off-band density hits the target.
+            distance = i - np.arange(band_start)  # in (band-1, i]
+            weights = 1.0 / distance
+            p = np.minimum(1.0, density * band_start * weights / weights.sum())
+            keep = rng.random(band_start) < p
+            cols.insert(0, np.nonzero(keep)[0])
+        row_cols = np.concatenate(cols)
+        all_cols.append(row_cols)
+        row_offsets[i + 1] = row_offsets[i] + len(row_cols)
+
+    column_indices = np.concatenate(all_cols).astype(np.int32)
+    values = np.ones(int(row_offsets[-1]), dtype=np.float32)
+    return CSRMatrix(
+        (sequence_length, sequence_length), row_offsets, column_indices, values
+    )
+
+
+def dense_causal_mask(sequence_length: int) -> CSRMatrix:
+    """All-to-all causal attention (the dense baseline's connectivity)."""
+    rows = np.arange(1, sequence_length + 1, dtype=np.int64)
+    row_offsets = np.zeros(sequence_length + 1, dtype=np.int64)
+    np.cumsum(rows, out=row_offsets[1:])
+    column_indices = np.concatenate(
+        [np.arange(i + 1) for i in range(sequence_length)]
+    ).astype(np.int32)
+    values = np.ones(int(row_offsets[-1]), dtype=np.float32)
+    return CSRMatrix(
+        (sequence_length, sequence_length), row_offsets, column_indices, values
+    )
+
+
+def mask_statistics(mask: CSRMatrix, band: int = 256) -> dict[str, float]:
+    """Summary used to validate Figure 11's construction."""
+    n = mask.n_rows
+    lengths = mask.row_lengths
+    tri = n * (n + 1) / 2.0
+    off_band = 0
+    off_band_kept = 0
+    for i in range(n):
+        band_start = max(0, i - band + 1)
+        off_band += band_start
+        off_band_kept += int(lengths[i]) - (i - band_start + 1)
+    return {
+        "causal_sparsity": 1.0 - mask.nnz / tri,
+        "off_band_density": off_band_kept / off_band if off_band else 0.0,
+        "mean_row_length": float(lengths.mean()),
+    }

@@ -1,0 +1,159 @@
+"""Matrix specifications: lazy descriptors that materialize to CSR.
+
+A corpus of thousands of matrices (Section II) is too large to hold
+materialized; a :class:`MatrixSpec` carries everything needed to (a) compute
+the Figure 2 property statistics from row lengths alone and (b) materialize
+the matrix deterministically when a benchmark actually runs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from .statistics import MatrixStats, stats_from_row_lengths
+
+
+def row_lengths_with_cov(
+    rows: int,
+    cols: int,
+    target_nnz: int,
+    target_cov: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw a row-length vector with a given total and CoV.
+
+    Lengths follow a lognormal shape (sigma chosen so the CoV matches),
+    rescaled to the exact total and clipped to ``[0, cols]``. A CoV of 0
+    degenerates to near-uniform lengths.
+    """
+    if target_nnz < 0 or target_nnz > rows * cols:
+        raise ValueError("target_nnz out of range")
+    if target_cov < 0:
+        raise ValueError("CoV must be non-negative")
+    if rows == 0 or target_nnz == 0:
+        return np.zeros(rows, dtype=np.int64)
+    if target_cov == 0.0:
+        base = np.full(rows, target_nnz // rows, dtype=np.int64)
+        base[: target_nnz % rows] += 1
+        return base
+    # Clipping to [0, cols] shrinks the realized CoV below the lognormal's
+    # nominal one; a few corrective iterations re-inflate sigma to hit the
+    # target (within sampling noise).
+    sigma = np.sqrt(np.log1p(target_cov**2))
+    for _ in range(4):
+        raw = rng.lognormal(mean=0.0, sigma=sigma, size=rows)
+        lengths = np.clip(raw / raw.sum() * target_nnz, 0, cols)
+        mean = lengths.mean()
+        realized = lengths.std() / mean if mean else 0.0
+        if realized >= 0.97 * target_cov or realized == 0.0:
+            break
+        sigma *= min(1.6, target_cov / max(realized, 1e-9))
+    lengths = np.clip(np.round(lengths), 0, cols).astype(np.int64)
+    # Fix the total after rounding/clipping by nudging random rows.
+    delta = target_nnz - int(lengths.sum())
+    step = 1 if delta > 0 else -1
+    while delta != 0:
+        candidates = (
+            np.nonzero(lengths < cols)[0] if step > 0 else np.nonzero(lengths > 0)[0]
+        )
+        take = min(abs(delta), len(candidates))
+        if take == 0:
+            break
+        picks = rng.choice(candidates, size=take, replace=False)
+        lengths[picks] += step
+        delta -= step * take
+    return lengths
+
+
+def materialize_rows(
+    row_lengths: np.ndarray,
+    cols: int,
+    rng: np.random.Generator,
+    dtype=np.float32,
+) -> CSRMatrix:
+    """Build a CSR matrix with the given row lengths and uniform-random,
+    sorted column positions; values are standard normal."""
+    lengths = np.asarray(row_lengths, dtype=np.int64)
+    offsets = np.zeros(len(lengths) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    nnz = int(offsets[-1])
+    indices = np.empty(nnz, dtype=np.int64)
+    pos = 0
+    # Sample each row's columns without replacement by ranking one uniform
+    # draw per candidate column. An argpartition pulls each chunk's k-max
+    # smallest candidates in O(cols), and only those are fully ranked —
+    # chunked so the scratch stays ~32 MB.
+    chunk = max(1, (4 << 20) // max(cols, 1))
+    for start in range(0, len(lengths), chunk):
+        ls = lengths[start : start + chunk]
+        kmax = int(ls.max()) if len(ls) else 0
+        if kmax == 0:
+            continue
+        u = rng.random((len(ls), cols))
+        if kmax < cols:
+            part = np.argpartition(u, kmax - 1, axis=1)[:, :kmax]
+            ranks = np.argsort(np.take_along_axis(u, part, axis=1), axis=1)
+            order = np.take_along_axis(part, ranks, axis=1)
+        else:
+            order = np.argsort(u, axis=1)
+        for j in range(len(ls)):
+            length = int(ls[j])
+            if length:
+                chosen = np.sort(order[j, :length])
+                indices[pos : pos + length] = chosen
+                pos += length
+    from ..sparse.csr import INDEX_DTYPE_FOR_VALUES
+
+    idt = INDEX_DTYPE_FOR_VALUES[np.dtype(dtype)]
+    values = rng.standard_normal(nnz).astype(dtype)
+    return CSRMatrix((len(lengths), cols), offsets, indices.astype(idt), values)
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """A lazily-materialized sparse matrix in a corpus.
+
+    ``model``/``layer`` tag provenance (which synthetic model and which
+    layer shape the matrix represents); ``seed`` makes materialization
+    deterministic.
+    """
+
+    name: str
+    model: str
+    layer: str
+    rows: int
+    cols: int
+    sparsity: float
+    row_cov: float
+    seed: int
+    #: Dense-operand column counts to benchmark (training and inference).
+    batch_columns: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sparsity < 1.0:
+            raise ValueError(f"sparsity {self.sparsity} out of [0, 1)")
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("matrix dimensions must be positive")
+
+    @property
+    def target_nnz(self) -> int:
+        return max(1, round((1.0 - self.sparsity) * self.rows * self.cols))
+
+    def row_lengths(self) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        return row_lengths_with_cov(
+            self.rows, self.cols, self.target_nnz, self.row_cov, rng
+        )
+
+    def stats(self) -> MatrixStats:
+        return stats_from_row_lengths(self.row_lengths(), self.cols)
+
+    def materialize(self, dtype=np.float32) -> CSRMatrix:
+        rng = np.random.default_rng(self.seed)
+        lengths = row_lengths_with_cov(
+            self.rows, self.cols, self.target_nnz, self.row_cov, rng
+        )
+        return materialize_rows(lengths, self.cols, rng, dtype=dtype)

@@ -1,0 +1,52 @@
+"""GPU substrate: device models, occupancy, memory transactions, the Volta
+thread-block scheduler, and the kernel-launch executor.
+
+This package is the hardware stand-in described in DESIGN.md Section 2: the
+paper's kernels are CUDA on a V100; here they are costed, scheduled, and
+timed on a transaction-level model of the same machine, while their numerics
+run exactly in numpy.
+"""
+
+from .device import GTX1080, V100, DeviceSpec, get_device
+from .executor import BlockCosts, ExecutionResult, KernelLaunch, execute
+from .memory import (
+    VECTOR_WIDTHS,
+    aligned_extent,
+    dram_bytes_with_reuse,
+    latency_hiding_factor,
+    load_instructions,
+    sectors_for_contiguous,
+    validate_vector_width,
+)
+from .occupancy import BlockResources, Occupancy, compute_occupancy
+from .scheduler import (
+    ScheduleResult,
+    linear_block_index,
+    simulate_schedule,
+    volta_first_wave_sm,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "V100",
+    "GTX1080",
+    "get_device",
+    "BlockCosts",
+    "KernelLaunch",
+    "ExecutionResult",
+    "execute",
+    "BlockResources",
+    "Occupancy",
+    "compute_occupancy",
+    "ScheduleResult",
+    "simulate_schedule",
+    "volta_first_wave_sm",
+    "linear_block_index",
+    "VECTOR_WIDTHS",
+    "validate_vector_width",
+    "sectors_for_contiguous",
+    "load_instructions",
+    "aligned_extent",
+    "dram_bytes_with_reuse",
+    "latency_hiding_factor",
+]

@@ -1,0 +1,195 @@
+"""Kernel-launch executor: turns per-block cost vectors into a runtime.
+
+A kernel implementation (ours or a baseline) describes one launch as a
+:class:`KernelLaunch` — a grid of thread blocks, per-block resource usage,
+and per-block counted costs (FMA instructions, warp instructions issued,
+DRAM/L2/shared-memory bytes). The executor:
+
+1. computes occupancy (resident blocks per SM),
+2. converts each block's costs into a duration using a roofline with a
+   latency-hiding factor tied to occupancy,
+3. schedules the blocks with the Volta scheduler model, and
+4. rolls everything up into an :class:`ExecutionResult`.
+
+This is the single place where counted work becomes time; every experiment
+in the paper is regenerated through this path, so relative results across
+kernels come from their counted work, never from per-experiment constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .device import DeviceSpec
+from .memory import latency_hiding_factor
+from .occupancy import BlockResources, Occupancy, compute_occupancy
+from .scheduler import ScheduleResult, simulate_schedule
+
+
+@dataclass
+class BlockCosts:
+    """Per-thread-block counted costs, vectorized over the whole grid.
+
+    Every field is either a scalar (uniform across blocks) or an array of
+    shape ``(n_blocks,)``.
+
+    - ``fma_instructions``: warp-level FMA instructions issued (predicated
+      lanes still occupy the instruction, so divergence is charged here).
+    - ``other_instructions``: every non-FMA warp instruction issued (loads,
+      stores, integer/address arithmetic, prelude, masking, reductions).
+    - ``dram_bytes`` / ``l2_bytes``: bytes serviced by DRAM / by L2 hits.
+    - ``l1_bytes``: bytes serviced by L1 hits (on Volta the L1 shares the
+      shared-memory data path, so these are charged together).
+    - ``smem_bytes``: shared-memory bytes moved (stores + loads).
+    """
+
+    fma_instructions: np.ndarray | float = 0.0
+    other_instructions: np.ndarray | float = 0.0
+    dram_bytes: np.ndarray | float = 0.0
+    l2_bytes: np.ndarray | float = 0.0
+    l1_bytes: np.ndarray | float = 0.0
+    smem_bytes: np.ndarray | float = 0.0
+
+    def broadcast(self, n_blocks: int) -> "BlockCosts":
+        """Return a copy with every field as a float64 ``(n_blocks,)`` array."""
+        def expand(v: np.ndarray | float) -> np.ndarray:
+            arr = np.asarray(v, dtype=np.float64)
+            if arr.ndim == 0:
+                return np.full(n_blocks, float(arr))
+            if arr.shape != (n_blocks,):
+                raise ValueError(
+                    f"cost vector shape {arr.shape} != grid size ({n_blocks},)"
+                )
+            return arr
+
+        return BlockCosts(
+            fma_instructions=expand(self.fma_instructions),
+            other_instructions=expand(self.other_instructions),
+            dram_bytes=expand(self.dram_bytes),
+            l2_bytes=expand(self.l2_bytes),
+            l1_bytes=expand(self.l1_bytes),
+            smem_bytes=expand(self.smem_bytes),
+        )
+
+
+@dataclass
+class KernelLaunch:
+    """One kernel launch: a grid of blocks plus their costs and resources."""
+
+    name: str
+    n_blocks: int
+    resources: BlockResources
+    costs: BlockCosts
+    #: Useful floating-point operations (for throughput reporting only).
+    flops: float = 0.0
+    #: Fraction of the SM's issue/math rate an irregular kernel sustains
+    #: once latency is hidden: gather-dependent loads, address chains, and
+    #: divergence keep sparse kernels off the dense kernels' pipelines.
+    #: Calibrated once per kernel family, never per experiment.
+    pipeline_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_blocks <= 0:
+            raise ValueError("a launch needs at least one thread block")
+        if not 0.0 < self.pipeline_efficiency <= 1.0:
+            raise ValueError("pipeline_efficiency must be in (0, 1]")
+
+
+@dataclass
+class ExecutionResult:
+    """Simulated outcome of one or more kernel launches."""
+
+    name: str
+    runtime_s: float
+    flops: float
+    dram_bytes: float
+    l2_bytes: float
+    smem_bytes: float
+    n_blocks: int
+    occupancy: Occupancy | None
+    l1_bytes: float = 0.0
+    schedule: ScheduleResult | None = None
+    #: Individual launch results when this aggregates a multi-kernel op.
+    children: list["ExecutionResult"] = field(default_factory=list)
+
+    @property
+    def throughput_flops(self) -> float:
+        """Useful FLOP/s (0 when runtime is 0)."""
+        return self.flops / self.runtime_s if self.runtime_s > 0 else 0.0
+
+    def peak_fraction(self, device: DeviceSpec) -> float:
+        return self.throughput_flops / device.fp32_peak_flops
+
+    def add_overhead(self, seconds: float) -> "ExecutionResult":
+        """Copy with extra serial time (e.g. early-exit scheduler drag)."""
+        if seconds < 0:
+            raise ValueError("overhead must be non-negative")
+        from dataclasses import replace
+
+        return replace(self, runtime_s=self.runtime_s + seconds)
+
+    @staticmethod
+    def sequence(name: str, parts: list["ExecutionResult"]) -> "ExecutionResult":
+        """Combine launches executed back-to-back (e.g. transpose + SDDMM)."""
+        if not parts:
+            raise ValueError("need at least one launch to sequence")
+        return ExecutionResult(
+            name=name,
+            runtime_s=sum(p.runtime_s for p in parts),
+            flops=sum(p.flops for p in parts),
+            dram_bytes=sum(p.dram_bytes for p in parts),
+            l2_bytes=sum(p.l2_bytes for p in parts),
+            smem_bytes=sum(p.smem_bytes for p in parts),
+            l1_bytes=sum(p.l1_bytes for p in parts),
+            n_blocks=sum(p.n_blocks for p in parts),
+            occupancy=parts[0].occupancy,
+            children=list(parts),
+        )
+
+
+def execute(launch: KernelLaunch, device: DeviceSpec) -> ExecutionResult:
+    """Simulate one kernel launch on ``device`` and return its result."""
+    occ = compute_occupancy(launch.resources, device)
+    costs = launch.costs.broadcast(launch.n_blocks)
+
+    # Blocks actually resident per SM: capped by how many the grid provides.
+    waves = -(-launch.n_blocks // device.num_sms)
+    resident = min(occ.blocks_per_sm, waves)
+    resident_warps = resident * occ.warps_per_block
+    hide = latency_hiding_factor(resident_warps, device)
+
+    clock = device.core_clock_hz
+    warp_fma_per_cycle = device.fma_per_sm_per_cycle / device.warp_size
+    math_t = costs.fma_instructions / (warp_fma_per_cycle * clock)
+    issue_t = (costs.fma_instructions + costs.other_instructions) / (
+        device.issue_width * clock
+    )
+    smem_t = (costs.smem_bytes + costs.l1_bytes) / device.shared_bandwidth_per_sm
+    dram_t = costs.dram_bytes * device.num_sms / device.effective_dram_bandwidth
+    l2_t = costs.l2_bytes * device.num_sms / device.l2_bandwidth
+
+    rate = hide * launch.pipeline_efficiency
+    serial = np.maximum.reduce([math_t, issue_t, smem_t, dram_t, l2_t]) / rate
+    # An SM time-shares its resident blocks, so its finish time is the sum
+    # of their serial times at the SM's full rate: schedule at SM
+    # granularity (occupancy already shaped the rate via latency hiding).
+    # This is what makes guided self-scheduling work — a heavy block
+    # sharing an SM with light ones drains as a unit of SM time, not as an
+    # independent slot.
+    sched = simulate_schedule(serial, device, 1)
+    runtime = sched.makespan + device.launch_overhead_s
+
+    return ExecutionResult(
+        name=launch.name,
+        runtime_s=runtime,
+        flops=launch.flops,
+        dram_bytes=float(np.sum(costs.dram_bytes)),
+        l2_bytes=float(np.sum(costs.l2_bytes)),
+        smem_bytes=float(np.sum(costs.smem_bytes)),
+        l1_bytes=float(np.sum(costs.l1_bytes)),
+        n_blocks=launch.n_blocks,
+        occupancy=occ,
+        schedule=sched,
+    )

@@ -1,0 +1,64 @@
+"""Element-wise kernels: ReLU and the fused bias+ReLU epilogue.
+
+The paper fuses bias and ReLU into the preceding linear operation for both
+the sparse models and the cuBLAS baselines ("we additionally wrote a fused
+bias + ReLU kernel", Section VII-D1); the standalone kernel here is the
+unfused fallback and the cost model both share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.device import DeviceSpec
+from ..gpu.executor import BlockCosts, ExecutionResult, KernelLaunch, execute
+from ..gpu.occupancy import BlockResources
+
+#: Elements processed per thread block by the element-wise kernels.
+ELEMENTS_PER_BLOCK = 32 * 1024 // 4
+
+
+def elementwise_execution(
+    n_elements: int, device: DeviceSpec, name: str, reads: int = 1
+) -> ExecutionResult:
+    """Bandwidth-bound element-wise kernel: ``reads`` input streams, one
+    output stream, 4-byte elements, 4-wide vector accesses."""
+    if n_elements <= 0:
+        raise ValueError("element count must be positive")
+    blocks = max(1, -(-n_elements // ELEMENTS_PER_BLOCK))
+    per_block = n_elements / blocks
+    launch = KernelLaunch(
+        name=name,
+        n_blocks=blocks,
+        resources=BlockResources(threads=256, registers_per_thread=20),
+        costs=BlockCosts(
+            other_instructions=per_block * (reads + 1) / (32 * 4) + per_block / 32,
+            dram_bytes=per_block * 4.0 * (reads + 1),
+        ),
+        flops=float(n_elements),
+    )
+    return execute(launch, device)
+
+
+def relu(x: np.ndarray, device: DeviceSpec) -> tuple[np.ndarray, ExecutionResult]:
+    """Standalone ReLU (numerics + cost)."""
+    x = np.asarray(x)
+    return np.maximum(x, 0), elementwise_execution(x.size, device, "relu")
+
+
+def bias_relu(
+    x: np.ndarray, bias: np.ndarray, device: DeviceSpec
+) -> tuple[np.ndarray, ExecutionResult]:
+    """The paper's fused bias+ReLU epilogue kernel (one pass over the data).
+
+    ``x`` has shape ``(channels, spatial)`` (CHW layout with the batch
+    folded into spatial); the bias broadcasts over channels.
+    """
+    x = np.asarray(x)
+    bias = np.asarray(bias)
+    if x.ndim != 2 or bias.shape != (x.shape[0],):
+        raise ValueError(
+            f"bias of shape {bias.shape} does not broadcast over {x.shape}"
+        )
+    out = np.maximum(x + bias[:, None], 0).astype(x.dtype)
+    return out, elementwise_execution(x.size, device, "fused_bias_relu")

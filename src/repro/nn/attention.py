@@ -1,0 +1,134 @@
+"""Multi-head attention: dense and sparse (Section VII-C).
+
+Dense attention computes ``Softmax(Q K^T / sqrt(dk)) V`` with cuBLAS
+matmuls; memory and compute grow quadratically with sequence length. Sparse
+attention computes only a subset of ``Q K^T`` — an SDDMM against the fixed
+connectivity mask — followed by a sparse softmax and an SpMM against ``V``.
+
+Numerics run at any size; the Table III benchmark uses the cost-only
+entry points (:func:`dense_attention_cost`, :func:`sparse_attention_cost`)
+so a 12,288-token forward pass does not require terabytes of numpy work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.cublas import gemm_execution, matmul
+from ..core.sddmm import build_launch as sddmm_launch, sddmm
+from ..core.config import SddmmConfig
+from ..core.selection import select_sddmm_config, select_spmm_config
+from ..core.sparse_softmax import build_launch as softmax_launch, sparse_softmax
+from ..core.spmm import build_launch as spmm_launch, spmm
+from ..gpu.device import DeviceSpec
+from ..gpu.executor import execute
+from ..sparse.csr import CSRMatrix
+from .profile import Profile
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable dense softmax (reference)."""
+    x = np.asarray(x, dtype=np.float32)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def dense_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    device: DeviceSpec,
+    profile: Profile | None = None,
+    causal: bool = True,
+) -> np.ndarray:
+    """Single-head dense attention with numerics and simulated cost.
+
+    ``q``/``k``/``v`` are ``(seq, dk)``; returns ``(seq, dk)``.
+    """
+    q = np.asarray(q, np.float32)
+    k = np.asarray(k, np.float32)
+    v = np.asarray(v, np.float32)
+    dk = q.shape[1]
+    scores = matmul(q, k.T.copy(), device)
+    logits = scores.output / np.sqrt(dk)
+    if causal:
+        mask = np.triu(np.ones(logits.shape, dtype=bool), k=1)
+        logits = np.where(mask, -np.inf, logits)
+    probs = softmax(logits, axis=1)
+    out = matmul(probs, v, device)
+    if profile is not None:
+        profile.add(scores.execution)
+        # Dense softmax: bandwidth-bound passes over the seq x seq scores.
+        from .activation import elementwise_execution
+
+        profile.add(
+            elementwise_execution(logits.size, device, "dense_softmax", reads=2)
+        )
+        profile.add(out.execution)
+    return out.output
+
+
+def sparse_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: CSRMatrix,
+    device: DeviceSpec,
+    profile: Profile | None = None,
+) -> np.ndarray:
+    """Single-head sparse attention: SDDMM -> sparse softmax -> SpMM.
+
+    The mask's nonzeros define which query/key similarities are computed
+    (``Q K^T ∘ I[Y]``, Section IV-B); causality lives in the mask itself.
+    """
+    q = np.asarray(q, np.float32)
+    k = np.asarray(k, np.float32)
+    v = np.asarray(v, np.float32)
+    dk = q.shape[1]
+    scores = sddmm(q, k, mask, device, select_sddmm_config(dk))
+    probs = sparse_softmax(scores.output, device, scale=1.0 / np.sqrt(dk))
+    out = spmm(
+        probs.output, v, device, select_spmm_config(probs.output, v.shape[1])
+    )
+    if profile is not None:
+        profile.add(scores.execution)
+        profile.add(probs.execution)
+        profile.add(out.execution)
+    return out.output
+
+
+def dense_attention_cost(
+    seq: int, dk: int, n_instances: int, device: DeviceSpec, profile: Profile
+) -> None:
+    """Cost-only dense attention for ``n_instances`` (batch x head) passes."""
+    from .activation import elementwise_execution
+
+    qk = gemm_execution(seq, seq, dk, device)
+    sm = elementwise_execution(seq * seq, device, "dense_softmax", reads=2)
+    av = gemm_execution(seq, dk, seq, device)
+    for part in (qk, sm, av):
+        scaled = part.add_overhead(0.0)
+        scaled.runtime_s *= n_instances
+        scaled.flops *= n_instances
+        profile.add(scaled)
+
+
+def sparse_attention_cost(
+    mask: CSRMatrix, dk: int, n_instances: int, device: DeviceSpec, profile: Profile
+) -> None:
+    """Cost-only sparse attention for ``n_instances`` (batch x head) passes.
+
+    The mask is shared across heads and layers (Section VII-C1), so one
+    launch is costed and scaled.
+    """
+    sddmm_l, drag = sddmm_launch(mask, dk, SddmmConfig(vector_width=4 if dk % 4 == 0 else 1), device)
+    sddmm_r = execute(sddmm_l, device).add_overhead(drag)
+    sm_r = execute(softmax_launch(mask, device), device)
+    spmm_cfg = select_spmm_config(mask, dk)
+    spmm_r = execute(spmm_launch(mask, dk, spmm_cfg, device), device)
+    for part in (sddmm_r, sm_r, spmm_r):
+        scaled = part.add_overhead(0.0)
+        scaled.runtime_s *= n_instances
+        scaled.flops *= n_instances
+        profile.add(scaled)

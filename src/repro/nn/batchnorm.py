@@ -1,0 +1,99 @@
+"""Batch normalization and its inference-time fusion.
+
+MobileNetV1 follows every convolution with batch norm + ReLU; "at inference
+time, batch normalization can be fused into the preceding linear operation"
+(Section VII-D1). The fusion folds scale/shift into the convolution's
+weights and bias, so the fused model runs fewer kernels — tests assert the
+fused and unfused paths agree numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+
+
+@dataclass
+class BatchNorm:
+    """Per-channel inference-time batch normalization."""
+
+    gamma: np.ndarray
+    beta: np.ndarray
+    running_mean: np.ndarray
+    running_var: np.ndarray
+    eps: float = 1e-5
+
+    def __post_init__(self) -> None:
+        arrays = [self.gamma, self.beta, self.running_mean, self.running_var]
+        shapes = {np.asarray(a).shape for a in arrays}
+        if len(shapes) != 1 or len(next(iter(shapes))) != 1:
+            raise ValueError("batch norm parameters must share a 1-D shape")
+        self.gamma = np.asarray(self.gamma, np.float32)
+        self.beta = np.asarray(self.beta, np.float32)
+        self.running_mean = np.asarray(self.running_mean, np.float32)
+        self.running_var = np.asarray(self.running_var, np.float32)
+        if np.any(self.running_var < 0):
+            raise ValueError("running variance must be non-negative")
+
+    @property
+    def channels(self) -> int:
+        return len(self.gamma)
+
+    def scale_shift(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-channel ``(scale, shift)`` with ``y = scale * x + shift``."""
+        scale = self.gamma / np.sqrt(self.running_var + self.eps)
+        shift = self.beta - scale * self.running_mean
+        return scale.astype(np.float32), shift.astype(np.float32)
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Normalize ``(C, ...)`` activations (reference, unfused path)."""
+        scale, shift = self.scale_shift()
+        extra = (1,) * (np.asarray(x).ndim - 1)
+        return x * scale.reshape(-1, *extra) + shift.reshape(-1, *extra)
+
+
+def fuse_into_dense(
+    weight: np.ndarray, bias: np.ndarray | None, bn: BatchNorm
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fold batch norm into a dense ``(out, in)`` weight matrix + bias."""
+    weight = np.asarray(weight, np.float32)
+    if weight.shape[0] != bn.channels:
+        raise ValueError("batch norm channels must match output features")
+    scale, shift = bn.scale_shift()
+    fused_w = weight * scale[:, None]
+    base = np.zeros(bn.channels, np.float32) if bias is None else np.asarray(bias)
+    fused_b = scale * base + shift
+    return fused_w.astype(np.float32), fused_b.astype(np.float32)
+
+
+def fuse_into_sparse(
+    weight: CSRMatrix, bias: np.ndarray | None, bn: BatchNorm
+) -> tuple[CSRMatrix, np.ndarray]:
+    """Fold batch norm into a CSR weight matrix (same topology) + bias."""
+    if weight.n_rows != bn.channels:
+        raise ValueError("batch norm channels must match output features")
+    scale, shift = bn.scale_shift()
+    row_scale = np.repeat(scale, weight.row_lengths)
+    fused_values = (weight.values.astype(np.float32) * row_scale).astype(
+        weight.values.dtype
+    )
+    base = np.zeros(bn.channels, np.float32) if bias is None else np.asarray(bias)
+    fused_b = scale * base + shift
+    return weight.with_values(fused_values), fused_b.astype(np.float32)
+
+
+def fuse_into_depthwise(
+    filters: np.ndarray, bias: np.ndarray | None, bn: BatchNorm
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fold batch norm into depthwise ``(C, k, k)`` filters + bias."""
+    filters = np.asarray(filters, np.float32)
+    if filters.shape[0] != bn.channels:
+        raise ValueError("batch norm channels must match filter channels")
+    scale, shift = bn.scale_shift()
+    fused_f = filters * scale[:, None, None]
+    base = np.zeros(bn.channels, np.float32) if bias is None else np.asarray(bias)
+    fused_b = scale * base + shift
+    return fused_f.astype(np.float32), fused_b.astype(np.float32)

@@ -1,0 +1,116 @@
+"""Linear layers: dense (cuBLAS-backed) and sparse (Sputnik-backed).
+
+``SparseLinear`` is the weight-sparse building block the paper motivates in
+Section IV-B:
+
+- forward: ``Y = W X`` — one SpMM;
+- backward w.r.t. the weights: ``δW = δY Xᵀ ∘ I[W]`` — one SDDMM;
+- backward w.r.t. the input: ``δX = Wᵀ δY`` — one SpMM against the cached
+  transpose (Section IX: the transpose topology is cached when the sparse
+  topology changes and re-applied as a value permutation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.cublas import matmul
+from ..core.sddmm import sddmm
+from ..core.spmm import spmm
+from ..core.config import SddmmConfig, SpmmConfig
+from ..core.selection import select_sddmm_config, select_spmm_config
+from ..gpu.device import DeviceSpec
+from ..sparse.csr import CSRMatrix
+from ..sparse.transpose import CachedTranspose
+from .profile import Profile
+
+
+@dataclass
+class Linear:
+    """Dense linear layer ``Y = W X`` (weights ``(out, in)``, column-batch)."""
+
+    weight: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.weight = np.asarray(self.weight, dtype=np.float32)
+        if self.weight.ndim != 2:
+            raise ValueError("weight must be 2-D")
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.weight.nbytes
+
+    def forward(
+        self, x: np.ndarray, device: DeviceSpec, profile: Profile | None = None
+    ) -> np.ndarray:
+        result = matmul(self.weight, x, device)
+        if profile is not None:
+            profile.add(result.execution)
+        return result.output
+
+
+class SparseLinear:
+    """Weight-sparse linear layer backed by the Sputnik kernels."""
+
+    def __init__(
+        self, weight: CSRMatrix, config: SpmmConfig | None = None
+    ) -> None:
+        self.weight = weight
+        self.config = config
+        self._transpose_plan = CachedTranspose(weight)
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.weight.memory_bytes()
+
+    def _spmm_config(self, n: int) -> SpmmConfig:
+        if self.config is not None:
+            return self.config
+        precision = "mixed" if self.weight.values.dtype == np.float16 else "fp32"
+        return select_spmm_config(self.weight, n, precision)
+
+    def forward(
+        self, x: np.ndarray, device: DeviceSpec, profile: Profile | None = None
+    ) -> np.ndarray:
+        """``Y = W X``; ``x`` is ``(in_features, batch)``."""
+        result = spmm(self.weight, x, device, self._spmm_config(x.shape[1]))
+        if profile is not None:
+            profile.add(result.execution)
+        return result.output
+
+    def backward(
+        self,
+        x: np.ndarray,
+        grad_out: np.ndarray,
+        device: DeviceSpec,
+        profile: Profile | None = None,
+    ) -> tuple[CSRMatrix, np.ndarray]:
+        """Gradients ``(δW, δX)`` for ``Y = W X`` (Section IV-B).
+
+        ``δW = δY Xᵀ ∘ I[W]`` is exactly the deep-learning SDDMM; ``δX``
+        reuses the cached-topology transpose so no CSR transpose is paid.
+        """
+        grad_out = np.asarray(grad_out, dtype=np.float32)
+        x32 = np.asarray(x, dtype=np.float32)
+        config = select_sddmm_config(x32.shape[1])
+        grad_w = sddmm(grad_out, x32, self.weight, device, config)
+        if profile is not None:
+            profile.add(grad_w.execution)
+
+        w_t = self._transpose_plan.transpose(self.weight.astype(np.float32))
+        grad_x = spmm(w_t, grad_out, device, select_spmm_config(w_t, grad_out.shape[1]))
+        if profile is not None:
+            profile.add(grad_x.execution)
+        return grad_w.output, grad_x.output
+
+    def update_values(self, new_values: np.ndarray) -> None:
+        """In-place value update (same topology — no new transpose plan)."""
+        self.weight = self.weight.with_values(new_values)
+
+    def reference_forward(self, x: np.ndarray) -> np.ndarray:
+        """Numpy ground truth (for tests)."""
+        return (
+            self.weight.to_dense().astype(np.float32) @ np.asarray(x, np.float32)
+        ).astype(self.weight.values.dtype)

@@ -1,0 +1,272 @@
+"""Sparse MobileNetV1 (Section VII-D, Table IV, Figure 12).
+
+MobileNetV1 alternates depthwise 3x3 and pointwise 1x1 convolutions, each
+followed by batch norm and ReLU; a width multiplier scales every channel
+count. Following the paper's setup:
+
+- the 1x1 convolutions (the vast majority of FLOPs) are magnitude-pruned to
+  90 % sparsity and run through the Sputnik SpMM as CHW GEMMs;
+- the first (full 3x3) convolution stays dense — the paper found it
+  bandwidth-bound by the activations;
+- batch norm is fused into the preceding convolution at inference time;
+  bias+ReLU is fused into the sparse 1x1s, while the dense baseline runs
+  cuBLAS followed by the fused bias+ReLU kernel;
+- inference uses batch size 1, as in online-inference deployments;
+- an oracle kernel selector can replace the heuristic for the 1x1s
+  (Section VII-D1 uses it on four layers).
+
+Top-1 accuracies are paper-reference constants (Table IV) — training
+ImageNet is out of scope (DESIGN.md Section 2); runtimes are simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.cublas import matmul
+from ..core.selection import oracle_spmm_config, pad_batch_for_vectors
+from ..core.spmm import spmm
+from ..gpu.device import DeviceSpec
+from ..sparse.csr import CSRMatrix
+from .activation import bias_relu
+from .batchnorm import BatchNorm, fuse_into_dense, fuse_into_depthwise, fuse_into_sparse
+from .conv import depthwise_conv, im2col
+from .profile import Profile
+from .pruning import prune_to_csr
+
+#: (stride, output channels) of the 13 depthwise-separable blocks.
+BLOCKS = [
+    (1, 64),
+    (2, 128),
+    (1, 128),
+    (2, 256),
+    (1, 256),
+    (2, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (2, 1024),
+    (1, 1024),
+]
+FIRST_CONV_CHANNELS = 32
+NUM_CLASSES = 1000
+INPUT_SIZE = 224
+
+#: Table IV reference accuracies (ImageNet top-1), keyed by (variant, width).
+REFERENCE_ACCURACY = {
+    ("dense", 1.0): 0.727,
+    ("dense", 1.2): 0.738,
+    ("dense", 1.4): 0.748,
+    ("sparse", 1.3): 0.729,
+    ("sparse", 1.4): 0.733,
+    ("sparse", 1.5): 0.738,
+    ("sparse", 1.6): 0.741,
+    ("sparse", 1.7): 0.744,
+    ("sparse", 1.8): 0.749,
+}
+
+
+def scaled_channels(base: int, width: float) -> int:
+    """Apply the width multiplier, rounding to a multiple of 8 (min 8)."""
+    if width <= 0:
+        raise ValueError("width multiplier must be positive")
+    return max(8, int(round(base * width / 8)) * 8)
+
+
+def reference_accuracy(variant: str, width: float) -> float:
+    """Table IV accuracy, linearly interpolated between measured widths."""
+    points = sorted(
+        (w, acc) for (v, w), acc in REFERENCE_ACCURACY.items() if v == variant
+    )
+    if not points:
+        raise ValueError(f"unknown variant {variant!r}")
+    widths = np.array([p[0] for p in points])
+    accs = np.array([p[1] for p in points])
+    return float(np.interp(width, widths, accs))
+
+
+class MobileNetV1:
+    """A runnable MobileNetV1 with random (BN-fused) weights.
+
+    Weights are random because the benchmark measures kernels, not ImageNet
+    accuracy; shapes, sparsity, and kernel sequence match the paper's setup.
+    """
+
+    def __init__(
+        self,
+        width: float = 1.0,
+        sparse: bool = False,
+        sparsity: float = 0.9,
+        use_oracle: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.width = width
+        self.sparse = sparse
+        self.sparsity = sparsity
+        self.use_oracle = use_oracle
+        rng = np.random.default_rng(seed)
+
+        def bn(ch: int) -> BatchNorm:
+            return BatchNorm(
+                gamma=rng.uniform(0.5, 1.5, ch),
+                beta=rng.uniform(-0.1, 0.1, ch),
+                running_mean=rng.standard_normal(ch) * 0.1,
+                running_var=rng.uniform(0.5, 1.5, ch),
+            )
+
+        c0 = scaled_channels(FIRST_CONV_CHANNELS, width)
+        scale0 = np.sqrt(2.0 / (3 * 9))
+        first_w = rng.standard_normal((c0, 3 * 9)).astype(np.float32) * scale0
+        self.first_conv, self.first_bias = fuse_into_dense(first_w, None, bn(c0))
+
+        self.blocks: list[dict] = []
+        in_ch = c0
+        for stride, base_out in BLOCKS:
+            out_ch = scaled_channels(base_out, width)
+            dw = rng.standard_normal((in_ch, 3, 3)).astype(np.float32) * np.sqrt(2.0 / 9)
+            dw_f, dw_b = fuse_into_depthwise(dw, None, bn(in_ch))
+            pw = rng.standard_normal((out_ch, in_ch)).astype(np.float32) * np.sqrt(
+                2.0 / in_ch
+            )
+            block: dict = {"stride": stride, "dw": dw_f, "dw_bias": dw_b}
+            if sparse:
+                pruned = prune_to_csr(pw, sparsity)
+                fused_w, fused_b = fuse_into_sparse(pruned, None, bn(out_ch))
+                block["pw_sparse"] = fused_w
+                block["pw_bias"] = fused_b
+            else:
+                fused_w, fused_b = fuse_into_dense(pw, None, bn(out_ch))
+                block["pw_dense"] = fused_w
+                block["pw_bias"] = fused_b
+            self.blocks.append(block)
+            in_ch = out_ch
+        fc_scale = np.sqrt(1.0 / in_ch)
+        self.fc = (
+            rng.standard_normal((NUM_CLASSES, in_ch)) * fc_scale
+        ).astype(np.float32)
+        self._oracle_cache: dict[tuple[int, int, int], object] = {}
+
+    # ------------------------------------------------------------------
+    def weight_bytes(self) -> int:
+        total = self.first_conv.nbytes + self.fc.nbytes
+        for b in self.blocks:
+            total += b["dw"].nbytes + b["pw_bias"].nbytes
+            if "pw_sparse" in b:
+                total += b["pw_sparse"].memory_bytes()
+            else:
+                total += b["pw_dense"].nbytes
+        return total
+
+    def _pointwise(
+        self,
+        weight: CSRMatrix | np.ndarray,
+        bias: np.ndarray,
+        x2d: np.ndarray,
+        device: DeviceSpec,
+        profile: Profile | None,
+    ) -> np.ndarray:
+        if isinstance(weight, CSRMatrix):
+            # Vector memory instructions need N % 4 == 0 (Section VII-A1);
+            # batch-1 spatial sizes are padded like the paper's benchmarks.
+            padded = pad_batch_for_vectors(x2d.astype(np.float32))
+            config = None
+            if self.use_oracle:
+                key = (weight.n_rows, weight.n_cols, padded.shape[1])
+                config = self._oracle_cache.get(key)
+                if config is None:
+                    config = oracle_spmm_config(weight, padded.shape[1], device)
+                    self._oracle_cache[key] = config
+            result = spmm(weight, padded, device, config)
+            if profile is not None:
+                profile.add(result.execution)
+            out = result.output[:, : x2d.shape[1]]
+            # Bias + ReLU fused into the sparse kernel's epilogue.
+            return np.maximum(out + bias[:, None], 0)
+        result = matmul(weight, x2d.astype(np.float32), device)
+        if profile is not None:
+            profile.add(result.execution)
+        out, epilogue = bias_relu(result.output, bias, device)
+        if profile is not None:
+            profile.add(epilogue)
+        return out
+
+    def forward(
+        self,
+        image: np.ndarray,
+        device: DeviceSpec,
+        profile: Profile | None = None,
+    ) -> np.ndarray:
+        """Single-image inference: ``image`` is ``(3, 224, 224)`` CHW."""
+        image = np.asarray(image, dtype=np.float32)
+        if image.shape != (3, INPUT_SIZE, INPUT_SIZE):
+            raise ValueError(f"expected (3, {INPUT_SIZE}, {INPUT_SIZE})")
+        if profile is not None:
+            profile.add_weights(self.weight_bytes())
+
+        cols = im2col(image, kernel=3, stride=2, padding=1)
+        r = matmul(self.first_conv, cols, device)
+        if profile is not None:
+            profile.add(r.execution)
+        x2d, epilogue = bias_relu(r.output, self.first_bias, device)
+        if profile is not None:
+            profile.add(epilogue)
+        side = INPUT_SIZE // 2
+        x = x2d.reshape(-1, side, side)
+
+        for block in self.blocks:
+            x = depthwise_conv(
+                x, block["dw"], block["dw_bias"], device,
+                stride=block["stride"], profile=profile,
+            )
+            x2d = x.reshape(x.shape[0], -1)
+            weight = block.get("pw_sparse", block.get("pw_dense"))
+            x2d = self._pointwise(weight, block["pw_bias"], x2d, device, profile)
+            x = x2d.reshape(x2d.shape[0], x.shape[1], x.shape[2])
+
+        pooled = x.mean(axis=(1, 2), keepdims=False)
+        logits = matmul(self.fc, pooled[:, None], device)
+        if profile is not None:
+            profile.add(logits.execution)
+        return logits.output[:, 0]
+
+
+@dataclass
+class MobileNetReport:
+    """One row of Table IV."""
+
+    variant: str
+    width: float
+    accuracy: float
+    runtime_s: float
+
+    @property
+    def throughput_fps(self) -> float:
+        return 1.0 / self.runtime_s if self.runtime_s > 0 else 0.0
+
+
+def benchmark(
+    width: float,
+    sparse: bool,
+    device: DeviceSpec,
+    use_oracle: bool = True,
+    seed: int = 0,
+) -> MobileNetReport:
+    """Produce one Table IV row: batch-1 inference on random input."""
+    model = MobileNetV1(
+        width=width, sparse=sparse, use_oracle=use_oracle and sparse, seed=seed
+    )
+    profile = Profile()
+    rng = np.random.default_rng(seed + 1)
+    image = rng.standard_normal((3, INPUT_SIZE, INPUT_SIZE)).astype(np.float32)
+    model.forward(image, device, profile)
+    variant = "sparse" if sparse else "dense"
+    return MobileNetReport(
+        variant=variant,
+        width=width,
+        accuracy=reference_accuracy(variant, width),
+        runtime_s=profile.runtime_s,
+    )

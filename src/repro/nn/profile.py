@@ -1,0 +1,69 @@
+"""Execution profiling for model forward passes.
+
+Model code appends every kernel's :class:`ExecutionResult` to a
+:class:`Profile`; the application benchmarks (Tables III/IV, Figure 12)
+read total simulated runtime, throughput, and memory high-water marks off
+the profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gpu.device import DeviceSpec
+from ..gpu.executor import ExecutionResult
+
+
+@dataclass
+class Profile:
+    """Accumulated simulated execution of a sequence of kernels."""
+
+    records: list[ExecutionResult] = field(default_factory=list)
+    #: Bytes of weights + persistent buffers resident on the device.
+    weight_bytes: int = 0
+    #: Peak bytes of live activations during the pass.
+    peak_activation_bytes: int = 0
+    _live_activation_bytes: int = field(default=0, repr=False)
+
+    def add(self, result: ExecutionResult) -> None:
+        self.records.append(result)
+
+    def add_weights(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("weight bytes must be non-negative")
+        self.weight_bytes += nbytes
+
+    def allocate_activation(self, nbytes: int) -> None:
+        """Track a live activation allocation (for the memory columns)."""
+        if nbytes < 0:
+            raise ValueError("activation bytes must be non-negative")
+        self._live_activation_bytes += nbytes
+        self.peak_activation_bytes = max(
+            self.peak_activation_bytes, self._live_activation_bytes
+        )
+
+    def free_activation(self, nbytes: int) -> None:
+        self._live_activation_bytes = max(0, self._live_activation_bytes - nbytes)
+
+    @property
+    def runtime_s(self) -> float:
+        return sum(r.runtime_s for r in self.records)
+
+    @property
+    def flops(self) -> float:
+        return sum(r.flops for r in self.records)
+
+    @property
+    def total_memory_bytes(self) -> int:
+        return self.weight_bytes + self.peak_activation_bytes
+
+    def fits(self, device: DeviceSpec) -> bool:
+        """Whether the pass fits in device memory (Table III's OOM check)."""
+        return self.total_memory_bytes <= device.dram_capacity
+
+    def by_kernel(self) -> dict[str, float]:
+        """Total runtime per kernel name (for per-layer breakdowns)."""
+        out: dict[str, float] = {}
+        for r in self.records:
+            out[r.name] = out.get(r.name, 0.0) + r.runtime_s
+        return out

@@ -1,0 +1,117 @@
+"""Weight-sparse recurrent cells: RNN, GRU, LSTM.
+
+These are the workloads of the Figure 1 motivation and the Figure 10
+benchmark: recurrent weight matrices pruned to moderate sparsity, with the
+batch as the SpMM's dense dimension. Each cell stacks its gates into one
+tall sparse matrix (``gates x hidden``), so a step is a single SpMM per
+operand — the layout the paper's M/K/N problem labels describe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.device import DeviceSpec
+from ..sparse.csr import CSRMatrix
+from .layers import SparseLinear
+from .profile import Profile
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+class SparseRnnCell:
+    """Vanilla RNN: ``h' = tanh(W_x x + W_h h)`` with sparse weights."""
+
+    gates = 1
+
+    def __init__(self, w_input: CSRMatrix, w_hidden: CSRMatrix) -> None:
+        hidden = w_hidden.n_cols
+        if w_input.n_rows != self.gates * hidden or w_hidden.n_rows != self.gates * hidden:
+            raise ValueError(
+                f"weights must stack {self.gates} gates of {hidden} units"
+            )
+        self.hidden_size = hidden
+        self.input_layer = SparseLinear(w_input)
+        self.hidden_layer = SparseLinear(w_hidden)
+
+    def _preact(
+        self, x: np.ndarray, h: np.ndarray, device: DeviceSpec, profile: Profile | None
+    ) -> np.ndarray:
+        zx = self.input_layer.forward(x, device, profile)
+        zh = self.hidden_layer.forward(h, device, profile)
+        return zx.astype(np.float32) + zh.astype(np.float32)
+
+    def step(
+        self,
+        x: np.ndarray,
+        h: np.ndarray,
+        device: DeviceSpec,
+        profile: Profile | None = None,
+    ) -> np.ndarray:
+        return np.tanh(self._preact(x, h, device, profile))
+
+
+class SparseGruCell(SparseRnnCell):
+    """GRU with stacked (reset, update, candidate) gates — 3h x h weights."""
+
+    gates = 3
+
+    def step(self, x, h, device, profile=None):
+        z = self._preact(x, h, device, profile)
+        hs = self.hidden_size
+        r = _sigmoid(z[:hs])
+        u = _sigmoid(z[hs : 2 * hs])
+        # Candidate uses the reset-gated hidden state; the gating is applied
+        # post-hoc to the hidden contribution (single-SpMM formulation).
+        c = np.tanh(z[2 * hs :] * r)
+        return u * h + (1.0 - u) * c
+
+
+class SparseLstmCell(SparseRnnCell):
+    """LSTM with stacked (input, forget, cell, output) gates — 4h x h."""
+
+    gates = 4
+
+    def step(
+        self,
+        x: np.ndarray,
+        state: tuple[np.ndarray, np.ndarray],
+        device: DeviceSpec,
+        profile: Profile | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        h, c = state
+        z = self._preact(x, h, device, profile)
+        hs = self.hidden_size
+        i = _sigmoid(z[:hs])
+        f = _sigmoid(z[hs : 2 * hs])
+        g = np.tanh(z[2 * hs : 3 * hs])
+        o = _sigmoid(z[3 * hs :])
+        c_new = f * c + i * g
+        h_new = o * np.tanh(c_new)
+        return h_new, c_new
+
+
+def random_cell(
+    cell_type: str,
+    hidden: int,
+    input_size: int | None = None,
+    sparsity: float = 0.9,
+    seed: int = 0,
+):
+    """Build a cell with random uniform-sparsity weights (Section VII-A2)."""
+    classes = {"rnn": SparseRnnCell, "gru": SparseGruCell, "lstm": SparseLstmCell}
+    if cell_type not in classes:
+        raise ValueError(f"unknown cell type {cell_type!r}")
+    cls = classes[cell_type]
+    input_size = hidden if input_size is None else input_size
+    rng = np.random.default_rng(seed)
+
+    def sparse_weight(rows: int, cols: int) -> CSRMatrix:
+        dense = rng.standard_normal((rows, cols)) * np.sqrt(1.0 / cols)
+        dense *= rng.random((rows, cols)) >= sparsity
+        return CSRMatrix.from_dense(dense.astype(np.float32))
+
+    m = cls.gates * hidden
+    return cls(sparse_weight(m, input_size), sparse_weight(m, hidden))

@@ -1,0 +1,147 @@
+"""A numerically-executable Transformer layer with sparse or dense attention.
+
+The Table III benchmark costs the full-size model analytically
+(:mod:`repro.nn.transformer`); this module is the runnable counterpart for
+realistic-but-smaller sizes: multi-head attention (dense causal or masked
+sparse), residual connections, layer norm, and the two-matmul FFN — every
+matrix multiply routed through the simulated kernels and profiled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.cublas import matmul
+from ..gpu.device import DeviceSpec
+from ..sparse.csr import CSRMatrix
+from .attention import dense_attention, sparse_attention
+from .profile import Profile
+
+
+def layer_norm(x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Per-token layer normalization over the feature axis (axis 1)."""
+    x = np.asarray(x, dtype=np.float32)
+    mean = x.mean(axis=1, keepdims=True)
+    var = x.var(axis=1, keepdims=True)
+    return (x - mean) / np.sqrt(var + eps)
+
+
+class TransformerLayer:
+    """One pre-norm Transformer layer: attention + FFN with residuals.
+
+    Args:
+        d_model: model width.
+        n_heads: attention heads (must divide ``d_model``).
+        d_ffn: hidden width of the feed-forward network.
+        attention_mask: a CSR connectivity mask for sparse attention, or
+            ``None`` for dense causal attention.
+        seed: weight initialization seed.
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        n_heads: int,
+        d_ffn: int,
+        attention_mask: CSRMatrix | None = None,
+        seed: int = 0,
+    ) -> None:
+        if d_model % n_heads:
+            raise ValueError("d_model must divide evenly across heads")
+        self.d_model = d_model
+        self.n_heads = n_heads
+        self.head_dim = d_model // n_heads
+        self.mask = attention_mask
+        rng = np.random.default_rng(seed)
+
+        def init(rows: int, cols: int) -> np.ndarray:
+            return (rng.standard_normal((rows, cols)) / np.sqrt(cols)).astype(
+                np.float32
+            )
+
+        self.w_q = init(d_model, d_model)
+        self.w_k = init(d_model, d_model)
+        self.w_v = init(d_model, d_model)
+        self.w_o = init(d_model, d_model)
+        self.w_ffn_in = init(d_ffn, d_model)
+        self.w_ffn_out = init(d_model, d_ffn)
+
+    def _project(
+        self, w: np.ndarray, x: np.ndarray, device: DeviceSpec, profile
+    ) -> np.ndarray:
+        result = matmul(w, x.T.copy(), device)
+        if profile is not None:
+            profile.add(result.execution)
+        return result.output.T
+
+    def forward(
+        self,
+        x: np.ndarray,
+        device: DeviceSpec,
+        profile: Profile | None = None,
+    ) -> np.ndarray:
+        """``x`` is ``(seq, d_model)``; returns the same shape."""
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 2 or x.shape[1] != self.d_model:
+            raise ValueError(f"expected (seq, {self.d_model}), got {x.shape}")
+        if self.mask is not None and self.mask.n_rows != x.shape[0]:
+            raise ValueError("attention mask must be seq x seq")
+
+        h = layer_norm(x)
+        q = self._project(self.w_q, h, device, profile)
+        k = self._project(self.w_k, h, device, profile)
+        v = self._project(self.w_v, h, device, profile)
+
+        heads = []
+        for i in range(self.n_heads):
+            sl = slice(i * self.head_dim, (i + 1) * self.head_dim)
+            if self.mask is None:
+                heads.append(
+                    dense_attention(q[:, sl], k[:, sl], v[:, sl], device, profile)
+                )
+            else:
+                heads.append(
+                    sparse_attention(
+                        q[:, sl], k[:, sl], v[:, sl], self.mask, device, profile
+                    )
+                )
+        attended = np.concatenate(heads, axis=1)
+        x = x + self._project(self.w_o, attended, device, profile)
+
+        h = layer_norm(x)
+        hidden = np.maximum(self._project(self.w_ffn_in, h, device, profile), 0)
+        x = x + self._project(self.w_ffn_out, hidden, device, profile)
+        return x
+
+
+class TransformerStack:
+    """A stack of layers sharing one attention mask (Section VII-C1: the
+    mask 'is shared by all attention heads and layers')."""
+
+    def __init__(
+        self,
+        n_layers: int,
+        d_model: int,
+        n_heads: int,
+        d_ffn: int,
+        attention_mask: CSRMatrix | None = None,
+        seed: int = 0,
+    ) -> None:
+        if n_layers <= 0:
+            raise ValueError("need at least one layer")
+        self.layers = [
+            TransformerLayer(
+                d_model, n_heads, d_ffn, attention_mask, seed=seed + i
+            )
+            for i in range(n_layers)
+        ]
+
+    def forward(
+        self,
+        x: np.ndarray,
+        device: DeviceSpec,
+        profile: Profile | None = None,
+    ) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, device, profile)
+        return x

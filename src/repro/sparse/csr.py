@@ -1,0 +1,230 @@
+"""Compressed sparse row (CSR) matrices.
+
+The paper's kernels operate directly on standard CSR — row offsets, column
+indices, values — with no structural constraints on the nonzero topology.
+This implementation supports the two precision regimes the kernels use:
+
+- single precision: float32 values, int32 column indices;
+- mixed precision (Section V-D3): float16 values with int16 column indices
+  for the sparse-matrix metadata.
+
+Row offsets are always int64 (they index into the nnz array and are never
+stored per-nonzero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+#: value dtype -> column-index dtype used by the kernels (Section V-D3).
+INDEX_DTYPE_FOR_VALUES = {
+    np.dtype(np.float32): np.dtype(np.int32),
+    np.dtype(np.float16): np.dtype(np.int16),
+}
+
+
+@dataclass
+class CSRMatrix:
+    """A sparse matrix in compressed-sparse-row format.
+
+    Attributes:
+        shape: ``(rows, cols)``.
+        row_offsets: int64 array of length ``rows + 1``; row ``i`` owns
+            nonzeros ``row_offsets[i]:row_offsets[i+1]``.
+        column_indices: column index per nonzero (int32 or int16).
+        values: value per nonzero (float32 or float16).
+    """
+
+    shape: tuple[int, int]
+    row_offsets: np.ndarray
+    column_indices: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        rows, cols = self.shape
+        if rows < 0 or cols < 0:
+            raise ValueError(f"invalid shape {self.shape}")
+        self.row_offsets = np.ascontiguousarray(self.row_offsets, dtype=np.int64)
+        self.column_indices = np.ascontiguousarray(self.column_indices)
+        self.values = np.ascontiguousarray(self.values)
+        if self.row_offsets.shape != (rows + 1,):
+            raise ValueError("row_offsets must have length rows + 1")
+        if self.row_offsets[0] != 0:
+            raise ValueError("row_offsets must start at 0")
+        if np.any(np.diff(self.row_offsets) < 0):
+            raise ValueError("row_offsets must be non-decreasing")
+        nnz = int(self.row_offsets[-1])
+        if self.column_indices.shape != (nnz,) or self.values.shape != (nnz,):
+            raise ValueError("column_indices/values length must equal nnz")
+        vdt = self.values.dtype
+        if vdt not in INDEX_DTYPE_FOR_VALUES:
+            raise TypeError(f"unsupported value dtype {vdt}")
+        expected_idx = INDEX_DTYPE_FOR_VALUES[vdt]
+        if self.column_indices.dtype != expected_idx:
+            raise TypeError(
+                f"{vdt} values require {expected_idx} indices, "
+                f"got {self.column_indices.dtype}"
+            )
+        if nnz and (cols > np.iinfo(expected_idx).max + 1):
+            raise ValueError(
+                f"{cols} columns not addressable with {expected_idx} indices"
+            )
+        if nnz and (
+            int(self.column_indices.min()) < 0
+            or int(self.column_indices.max()) >= cols
+        ):
+            raise ValueError("column index out of range")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(
+        cls, dense: np.ndarray, dtype: np.dtype | type = np.float32
+    ) -> "CSRMatrix":
+        """Compress a dense 2-D array, dropping exact zeros."""
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ValueError("from_dense expects a 2-D array")
+        vdt = np.dtype(dtype)
+        idt = INDEX_DTYPE_FOR_VALUES[vdt]
+        mask = dense != 0
+        row_offsets = np.zeros(dense.shape[0] + 1, dtype=np.int64)
+        np.cumsum(mask.sum(axis=1), out=row_offsets[1:])
+        rows, cols = np.nonzero(mask)
+        del rows  # implicit in row_offsets
+        return cls(
+            shape=dense.shape,
+            row_offsets=row_offsets,
+            column_indices=cols.astype(idt),
+            values=dense[mask].astype(vdt),
+        )
+
+    @classmethod
+    def from_scipy(
+        cls, mat: sp.spmatrix | sp.sparray, dtype: np.dtype | type = np.float32
+    ) -> "CSRMatrix":
+        """Convert any scipy sparse matrix (duplicates summed, zeros kept)."""
+        csr = sp.csr_matrix(mat)
+        csr.sum_duplicates()
+        csr.sort_indices()
+        vdt = np.dtype(dtype)
+        idt = INDEX_DTYPE_FOR_VALUES[vdt]
+        return cls(
+            shape=csr.shape,
+            row_offsets=csr.indptr.astype(np.int64),
+            column_indices=csr.indices.astype(idt),
+            values=csr.data.astype(vdt),
+        )
+
+    @classmethod
+    def from_mask(
+        cls,
+        mask: np.ndarray,
+        values: np.ndarray | None = None,
+        dtype: np.dtype | type = np.float32,
+    ) -> "CSRMatrix":
+        """Build from a boolean mask; values default to 1 (an indicator)."""
+        mask = np.asarray(mask, dtype=bool)
+        vdt = np.dtype(dtype)
+        idt = INDEX_DTYPE_FOR_VALUES[vdt]
+        row_offsets = np.zeros(mask.shape[0] + 1, dtype=np.int64)
+        np.cumsum(mask.sum(axis=1), out=row_offsets[1:])
+        _, cols = np.nonzero(mask)
+        if values is None:
+            vals = np.ones(len(cols), dtype=vdt)
+        else:
+            vals = np.asarray(values)[mask].astype(vdt)
+        return cls(mask.shape, row_offsets, cols.astype(idt), vals)
+
+    # ------------------------------------------------------------------
+    # Views and conversions
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        # Duplicate (row, col) entries sum, the standard CSR semantic; this
+        # keeps explicitly padded matrices (see sparse.padding) faithful.
+        out = np.zeros(self.shape, dtype=self.values.dtype)
+        rows = np.repeat(np.arange(self.shape[0]), self.row_lengths)
+        np.add.at(out, (rows, self.column_indices.astype(np.int64)), self.values)
+        return out
+
+    def to_scipy(self) -> sp.csr_matrix:
+        return sp.csr_matrix(
+            (
+                self.values.astype(np.float64),
+                self.column_indices.astype(np.int64),
+                self.row_offsets,
+            ),
+            shape=self.shape,
+        )
+
+    def astype(self, dtype: np.dtype | type) -> "CSRMatrix":
+        """Re-type values (and, implicitly, indices per the precision rule)."""
+        vdt = np.dtype(dtype)
+        idt = INDEX_DTYPE_FOR_VALUES[vdt]
+        return CSRMatrix(
+            self.shape,
+            self.row_offsets.copy(),
+            self.column_indices.astype(idt),
+            self.values.astype(vdt),
+        )
+
+    def with_values(self, values: np.ndarray) -> "CSRMatrix":
+        """Same topology, new values (e.g. after a gradient update)."""
+        values = np.asarray(values, dtype=self.values.dtype)
+        if values.shape != self.values.shape:
+            raise ValueError("value array must match nnz")
+        return CSRMatrix(
+            self.shape, self.row_offsets, self.column_indices, values
+        )
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.row_offsets[-1])
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def row_lengths(self) -> np.ndarray:
+        """Nonzeros per row, shape ``(rows,)``."""
+        return np.diff(self.row_offsets)
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of zero-valued entries (1 - density)."""
+        total = self.shape[0] * self.shape[1]
+        return 1.0 - self.nnz / total if total else 0.0
+
+    @property
+    def index_bytes(self) -> int:
+        return self.column_indices.dtype.itemsize
+
+    @property
+    def value_bytes(self) -> int:
+        return self.values.dtype.itemsize
+
+    def memory_bytes(self) -> int:
+        """Bytes needed to store the matrix (values + indices + offsets)."""
+        return (
+            self.values.nbytes
+            + self.column_indices.nbytes
+            + self.row_offsets.nbytes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"sparsity={self.sparsity:.3f}, dtype={self.values.dtype})"
+        )

@@ -1,0 +1,100 @@
+"""Reference sparse operations (ground truth for every kernel).
+
+These implement, in plain vectorized numpy/scipy, the three operations the
+paper's kernels compute (Section IV):
+
+- SpMM: ``A B => C`` with ``A`` sparse CSR, ``B``/``C`` dense row-major.
+- SDDMM: ``A B^T ∘ I[C] => D`` — the deep-learning variant with a
+  *transposed* right-hand operand and *indicator* (unscaled) sampling, plus
+  the textbook scaled variant for completeness.
+- Sparse softmax: row-wise softmax over the nonzero values of a CSR matrix
+  (used by the sparse Transformer's attention).
+
+Every kernel in ``repro.core`` and ``repro.baselines`` produces output that
+tests compare against these functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+
+def spmm_reference(a: CSRMatrix, b: np.ndarray) -> np.ndarray:
+    """``A @ B`` with fp32 accumulation; output in ``A``'s value dtype.
+
+    Mixed-precision inputs (fp16 values) are converted to fp32, multiplied
+    with fp32 fused accumulation, and converted back on store — the exact
+    numeric contract of the paper's mixed-precision kernels (Section V-D3).
+    """
+    b = np.asarray(b)
+    if b.ndim != 2 or b.shape[0] != a.n_cols:
+        raise ValueError(f"B shape {b.shape} incompatible with A {a.shape}")
+    sp = a.to_scipy().astype(np.float32)
+    out = sp @ b.astype(np.float32)
+    return np.asarray(out, dtype=a.values.dtype)
+
+
+def sddmm_reference(
+    lhs: np.ndarray,
+    rhs: np.ndarray,
+    mask: CSRMatrix,
+    *,
+    scale_by_values: bool = False,
+) -> CSRMatrix:
+    """Sampled dense–dense matmul: ``(lhs @ rhs.T)`` at ``mask`` nonzeros.
+
+    Computes only the dot products for the nonzero positions of ``mask``
+    (the whole point of SDDMM). With ``scale_by_values`` the textbook
+    element-wise scaling ``A B^T ∘ C`` is applied; the default matches the
+    paper's deep-learning variant ``A B^T ∘ I[C]``.
+    """
+    lhs = np.asarray(lhs, dtype=np.float32)
+    rhs = np.asarray(rhs, dtype=np.float32)
+    rows, cols = mask.shape
+    if lhs.shape[0] != rows or rhs.shape[0] != cols:
+        raise ValueError(
+            f"operands {lhs.shape} x {rhs.shape}^T incompatible with "
+            f"mask {mask.shape}"
+        )
+    if lhs.shape[1] != rhs.shape[1]:
+        raise ValueError("lhs and rhs must share the inner dimension")
+    row_ids = np.repeat(np.arange(rows), mask.row_lengths)
+    col_ids = mask.column_indices.astype(np.int64)
+    # Gathered batched dot products: one per nonzero, never materializing
+    # the dense product.
+    out_vals = np.einsum(
+        "nk,nk->n", lhs[row_ids], rhs[col_ids], dtype=np.float32
+    )
+    if scale_by_values:
+        out_vals = out_vals * mask.values.astype(np.float32)
+    return mask.with_values(out_vals.astype(mask.values.dtype))
+
+
+def sparse_softmax_reference(a: CSRMatrix, scale: float = 1.0) -> CSRMatrix:
+    """Row-wise softmax over the nonzero values of ``a``.
+
+    Rows with no nonzeros stay empty. Numerically stabilized with the
+    per-row max, like any production softmax.
+    """
+    vals = a.values.astype(np.float32) * np.float32(scale)
+    lengths = a.row_lengths
+    row_ids = np.repeat(np.arange(a.n_rows), lengths)
+    row_max = np.full(a.n_rows, -np.inf, dtype=np.float32)
+    np.maximum.at(row_max, row_ids, vals)
+    shifted = np.exp(vals - row_max[row_ids])
+    row_sum = np.zeros(a.n_rows, dtype=np.float32)
+    np.add.at(row_sum, row_ids, shifted)
+    out = shifted / row_sum[row_ids]
+    return a.with_values(out.astype(a.values.dtype))
+
+
+def spmm_flops(a: CSRMatrix, n: int) -> float:
+    """Useful FLOPs of ``A @ B`` (2 per nonzero per output column)."""
+    return 2.0 * a.nnz * n
+
+
+def sddmm_flops(mask: CSRMatrix, k: int) -> float:
+    """Useful FLOPs of a sampled dense–dense product (2 per nnz per k)."""
+    return 2.0 * mask.nnz * k

@@ -1,0 +1,80 @@
+"""Explicit row padding — the alternative to ROMA the paper rejects.
+
+Section V-B2: "A simple approach ... is to pad the rows of the sparse matrix
+with zeros such that all rows are a multiple of four in length. However,
+this limits the generality of the kernel." We implement it anyway, both as a
+baseline for tests (padded SpMM must equal unpadded) and to quantify the
+storage ROMA avoids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+
+def pad_rows(a: CSRMatrix, multiple: int) -> CSRMatrix:
+    """Zero-pad every row of ``a`` to a multiple of ``multiple`` nonzeros.
+
+    Padding entries carry value 0 and repeat the row's last column index
+    (or column 0 for empty rows), so the padded matrix represents the same
+    values while every row offset is ``multiple``-aligned.
+    """
+    if multiple < 1:
+        raise ValueError("padding multiple must be >= 1")
+    lengths = a.row_lengths
+    padded_lengths = -(-lengths // multiple) * multiple
+    # Rows of length 0 stay empty: padding them would change the row offset
+    # alignment of *other* rows for no benefit and cuSPARSE-style kernels
+    # skip them anyway.
+    padded_lengths[lengths == 0] = 0
+    new_offsets = np.zeros(a.n_rows + 1, dtype=np.int64)
+    np.cumsum(padded_lengths, out=new_offsets[1:])
+
+    total = int(new_offsets[-1])
+    values = np.zeros(total, dtype=a.values.dtype)
+    indices = np.zeros(total, dtype=a.column_indices.dtype)
+
+    # Scatter the original nonzeros into their padded slots.
+    row_ids = np.repeat(np.arange(a.n_rows), lengths)
+    within = np.arange(a.nnz) - np.repeat(a.row_offsets[:-1], lengths)
+    dest = new_offsets[row_ids] + within
+    values[dest] = a.values
+    indices[dest] = a.column_indices
+
+    # Fill pad slots with the row's last real column index (keeps indices
+    # in range and sorted-enough for bandwidth accounting).
+    pad_rows_ids = np.repeat(
+        np.arange(a.n_rows), (padded_lengths - lengths)
+    )
+    if len(pad_rows_ids):
+        pad_pos = _pad_positions(new_offsets, lengths, padded_lengths)
+        last_idx = np.zeros(a.n_rows, dtype=a.column_indices.dtype)
+        nonempty = lengths > 0
+        last_idx[nonempty] = a.column_indices[a.row_offsets[1:][nonempty] - 1]
+        indices[pad_pos] = last_idx[pad_rows_ids]
+
+    return CSRMatrix(a.shape, new_offsets, indices, values)
+
+
+def _pad_positions(
+    new_offsets: np.ndarray, lengths: np.ndarray, padded_lengths: np.ndarray
+) -> np.ndarray:
+    """Flat positions of all padding slots in the padded nonzero arrays."""
+    pad_counts = padded_lengths - lengths
+    rows = np.repeat(np.arange(len(lengths)), pad_counts)
+    within = np.arange(int(pad_counts.sum())) - np.repeat(
+        np.cumsum(pad_counts) - pad_counts, pad_counts
+    )
+    return new_offsets[rows] + lengths[rows] + within
+
+
+def padding_overhead(a: CSRMatrix, multiple: int) -> float:
+    """Fractional nnz growth explicit padding would cost (ROMA costs zero)."""
+    lengths = a.row_lengths
+    padded = -(-lengths // multiple) * multiple
+    padded[lengths == 0] = 0
+    if a.nnz == 0:
+        return 0.0
+    return float(padded.sum() - lengths.sum()) / float(a.nnz)

@@ -1,0 +1,121 @@
+"""Cost-model sanity invariants: the simulator must respond to problem
+structure the way a real GPU does, independent of any calibration."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    cusparse_spmm_time,
+    dense_spmm_time,
+    sputnik_sddmm_time,
+    sputnik_spmm_time,
+)
+from repro.core import SpmmConfig
+from repro.datasets import MatrixSpec
+from repro.gpu import V100
+from tests.conftest import random_sparse
+
+
+def matrix(sparsity, m=1024, k=1024, seed=21, cov=0.2):
+    return MatrixSpec("t", "m", "l", m, k, sparsity, cov, seed=seed).materialize()
+
+
+class TestMonotonicity:
+    def test_spmm_runtime_decreases_with_sparsity(self):
+        times = [
+            sputnik_spmm_time(matrix(s), 128, V100).runtime_s
+            for s in (0.5, 0.7, 0.9, 0.98)
+        ]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_sddmm_runtime_decreases_with_sparsity(self):
+        times = [
+            sputnik_sddmm_time(matrix(s), 128, V100).runtime_s
+            for s in (0.5, 0.7, 0.9)
+        ]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_dense_time_independent_of_sparsity(self):
+        a = dense_spmm_time(matrix(0.5), 128, V100).runtime_s
+        b = dense_spmm_time(matrix(0.95), 128, V100).runtime_s
+        assert a == pytest.approx(b, rel=1e-9)
+
+    def test_spmm_runtime_increases_with_n(self):
+        a = matrix(0.8)
+        times = [
+            sputnik_spmm_time(a, n, V100).runtime_s for n in (32, 128, 512)
+        ]
+        assert all(x < y for x, y in zip(times, times[1:]))
+
+    def test_spmm_runtime_increases_with_m(self):
+        small = sputnik_spmm_time(matrix(0.8, m=512), 128, V100).runtime_s
+        large = sputnik_spmm_time(matrix(0.8, m=4096), 128, V100).runtime_s
+        assert large > small
+
+
+class TestRelativeOrderings:
+    def test_sputnik_wins_on_every_dl_like_problem(self, rng):
+        """Across moderate sparsities and shapes, our kernel should beat the
+        vendor model (the paper: 99.75% of problems)."""
+        for s in (0.6, 0.8, 0.9):
+            for m, k in ((512, 512), (2048, 1024)):
+                a = matrix(s, m=m, k=k, seed=m + int(100 * s))
+                ours = sputnik_spmm_time(a, 128, V100).runtime_s
+                theirs = cusparse_spmm_time(a, 128, V100).runtime_s
+                assert ours < theirs
+
+    def test_amdahl_never_violated(self):
+        """Sparse runtime must never beat the zero-work floor (launch)."""
+        a = matrix(0.99, m=256, k=256)
+        t = sputnik_spmm_time(a, 32, V100).runtime_s
+        assert t >= V100.launch_overhead_s
+
+    def test_peak_fraction_bounded(self, rng):
+        """No configuration may exceed the machine's peak."""
+        for s in (0.5, 0.9):
+            a = matrix(s, m=4096, k=2048)
+            res = sputnik_spmm_time(a, 512, V100)
+            assert res.flops / res.runtime_s < V100.fp32_peak_flops
+
+    def test_useful_throughput_grows_with_problem_size(self):
+        """The paper's Figure 9 shape: throughput rises with problem size
+        as launch overhead and under-occupancy amortize away."""
+        tiny = sputnik_spmm_time(matrix(0.9, m=128, k=128), 16, V100)
+        big = sputnik_spmm_time(matrix(0.9, m=4096, k=2048), 256, V100)
+        assert (big.flops / big.runtime_s) > 2 * (tiny.flops / tiny.runtime_s)
+
+    def test_useful_throughput_flat_across_dl_sparsities(self):
+        """At fixed shape, useful throughput varies little over the DL
+        sparsity range — the flat plateau of Figure 9's right axis."""
+        tput = [
+            (lambda r: r.flops / r.runtime_s)(
+                sputnik_spmm_time(matrix(s, m=4096, k=2048), 256, V100)
+            )
+            for s in (0.5, 0.7, 0.9)
+        ]
+        assert max(tput) / min(tput) < 1.3
+
+
+class TestConfigConsistency:
+    def test_identical_configs_identical_times(self, rng):
+        a = random_sparse(rng, 256, 256, 0.3)
+        c = SpmmConfig(block_items_x=32)
+        t1 = sputnik_spmm_time(a, 64, V100, c).runtime_s
+        t2 = sputnik_spmm_time(a, 64, V100, c).runtime_s
+        assert t1 == t2
+
+    def test_deterministic_across_materializations(self):
+        a1 = matrix(0.8, seed=5)
+        a2 = matrix(0.8, seed=5)
+        assert (
+            sputnik_spmm_time(a1, 64, V100).runtime_s
+            == sputnik_spmm_time(a2, 64, V100).runtime_s
+        )
+
+    def test_swizzle_cost_never_catastrophic(self, rng):
+        """The swizzle adds one indirection; it must never slow a launch by
+        more than a few percent even on balanced inputs."""
+        a = matrix(0.8, cov=0.0)
+        on = sputnik_spmm_time(a, 128, V100, SpmmConfig(load_balance=True))
+        off = sputnik_spmm_time(a, 128, V100, SpmmConfig(load_balance=False))
+        assert on.runtime_s <= off.runtime_s * 1.05

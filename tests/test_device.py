@@ -1,0 +1,59 @@
+"""Tests for repro.gpu.device."""
+
+import pytest
+
+from repro.gpu import GTX1080, V100, DeviceSpec, get_device
+
+
+class TestPresets:
+    def test_v100_headline_numbers(self):
+        assert V100.num_sms == 80
+        assert V100.fp32_peak_flops == pytest.approx(15.7e12)
+        assert V100.dram_bandwidth == pytest.approx(900e9)
+        assert V100.dram_capacity == 16 * 1024**3
+
+    def test_gtx1080_is_smaller(self):
+        assert GTX1080.num_sms < V100.num_sms
+        assert GTX1080.fp32_peak_flops < V100.fp32_peak_flops
+        assert GTX1080.dram_capacity == 8 * 1024**3
+
+    def test_scheduler_row_width_defaults_to_half_the_sms(self):
+        assert V100.scheduler_row_width == 40
+        dev = DeviceSpec(name="x", num_sms=60)
+        assert dev.scheduler_row_width == 30
+
+    def test_explicit_scheduler_row_width_preserved(self):
+        dev = DeviceSpec(name="x", num_sms=20, scheduler_row_width=20)
+        assert dev.scheduler_row_width == 20
+
+
+class TestDerivedQuantities:
+    def test_fma_per_sm_matches_peak(self):
+        # peak = 2 * sms * clock * fma_lanes
+        lanes = V100.fma_per_sm_per_cycle
+        assert 2 * V100.num_sms * V100.core_clock_hz * lanes == pytest.approx(
+            V100.fp32_peak_flops
+        )
+
+    def test_v100_has_64_fma_lanes_per_sm(self):
+        assert V100.fma_per_sm_per_cycle == pytest.approx(64.1, rel=0.01)
+
+    def test_effective_bandwidth_below_vendor_peak(self):
+        assert V100.effective_dram_bandwidth < V100.dram_bandwidth
+        assert V100.effective_dram_bandwidth == pytest.approx(
+            V100.dram_bandwidth * V100.dram_efficiency
+        )
+
+    def test_peak_fraction(self):
+        assert V100.peak_fraction(V100.fp32_peak_flops, 1.0) == pytest.approx(1.0)
+        assert V100.peak_fraction(1.0, 0.0) == 0.0
+
+
+class TestLookup:
+    @pytest.mark.parametrize("name", ["v100", "V100", "gtx1080", "1080"])
+    def test_get_device_aliases(self, name):
+        assert get_device(name) in (V100, GTX1080)
+
+    def test_get_device_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device("h100")

@@ -1,0 +1,81 @@
+"""Tests for the runnable Transformer layer/stack."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import banded_random_mask, dense_causal_mask
+from repro.nn import Profile, TransformerLayer, TransformerStack, layer_norm
+
+
+class TestLayerNorm:
+    def test_normalizes_rows(self, rng):
+        x = rng.standard_normal((10, 32)).astype(np.float32) * 5 + 3
+        out = layer_norm(x)
+        assert np.allclose(out.mean(axis=1), 0.0, atol=1e-4)
+        assert np.allclose(out.var(axis=1), 1.0, atol=1e-2)
+
+
+class TestTransformerLayer:
+    def test_output_shape(self, rng, device):
+        layer = TransformerLayer(64, 4, 256)
+        x = rng.standard_normal((48, 64)).astype(np.float32)
+        assert layer.forward(x, device).shape == (48, 64)
+
+    def test_sparse_with_full_mask_matches_dense(self, rng, device):
+        """A full causal mask makes sparse attention exact, so the two
+        layer variants must agree to numerical tolerance."""
+        seq, d = 32, 32
+        dense_layer = TransformerLayer(d, 2, 64, attention_mask=None, seed=5)
+        sparse_layer = TransformerLayer(
+            d, 2, 64, attention_mask=dense_causal_mask(seq), seed=5
+        )
+        x = rng.standard_normal((seq, d)).astype(np.float32)
+        a = dense_layer.forward(x, device)
+        b = sparse_layer.forward(x, device)
+        assert np.allclose(a, b, atol=1e-2)
+
+    def test_residual_path(self, device):
+        """Zero weights reduce the layer to the identity (residuals only)."""
+        layer = TransformerLayer(16, 2, 32, seed=0)
+        for w in ("w_q", "w_k", "w_v", "w_o", "w_ffn_in", "w_ffn_out"):
+            setattr(layer, w, np.zeros_like(getattr(layer, w)))
+        x = np.random.default_rng(1).standard_normal((8, 16)).astype(np.float32)
+        assert np.allclose(layer.forward(x, device), x, atol=1e-5)
+
+    def test_profile_records_sparse_kernels(self, rng, device):
+        seq, d = 64, 32
+        mask = banded_random_mask(seq, band=8, off_diagonal_sparsity=0.9, seed=2)
+        layer = TransformerLayer(d, 2, 64, attention_mask=mask)
+        p = Profile()
+        layer.forward(rng.standard_normal((seq, d)).astype(np.float32), device, p)
+        names = set(p.by_kernel())
+        assert {"sputnik_sddmm", "sparse_softmax", "sputnik_spmm_fp32"} <= names
+
+    def test_head_divisibility_validated(self):
+        with pytest.raises(ValueError):
+            TransformerLayer(30, 4, 64)
+
+    def test_input_shape_validated(self, device):
+        layer = TransformerLayer(16, 2, 32)
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((8, 17), np.float32), device)
+
+    def test_mask_shape_validated(self, rng, device):
+        layer = TransformerLayer(16, 2, 32, attention_mask=dense_causal_mask(9))
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((8, 16), np.float32), device)
+
+
+class TestTransformerStack:
+    def test_stack_runs_and_is_faster_sparse(self, rng, device):
+        seq, d = 96, 64
+        mask = banded_random_mask(seq, band=8, off_diagonal_sparsity=0.95, seed=4)
+        x = rng.standard_normal((seq, d)).astype(np.float32)
+        dense_p, sparse_p = Profile(), Profile()
+        TransformerStack(2, d, 4, 128, None, seed=1).forward(x, device, dense_p)
+        TransformerStack(2, d, 4, 128, mask, seed=1).forward(x, device, sparse_p)
+        assert sparse_p.runtime_s < dense_p.runtime_s
+
+    def test_layer_count_validated(self):
+        with pytest.raises(ValueError):
+            TransformerStack(0, 16, 2, 32)
