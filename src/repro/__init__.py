@@ -17,16 +17,19 @@ evaluation on a software model of a V100-class GPU (see DESIGN.md):
   benchmark's workload generators;
 - :mod:`repro.nn` — sparse layers, attention, the Table III Transformer,
   the Table IV MobileNetV1, RNN cells, and magnitude pruning;
-- :mod:`repro.bench` — the sweep runner and speedup statistics.
+- :mod:`repro.bench` — the sweep runner and speedup statistics;
+- :mod:`repro.ops` — the unified operator dispatch layer: a kernel
+  registry (swap backends by string), per-matrix plan caching, and
+  telemetry. All higher layers call kernels through it.
 
 Quick start::
 
     import numpy as np
-    from repro import spmm, CSRMatrix, V100
+    from repro import ops, CSRMatrix, V100
 
     a = CSRMatrix.from_dense(np.eye(64, dtype=np.float32))
     b = np.ones((64, 32), dtype=np.float32)
-    result = spmm(a, b, V100)
+    result = ops.spmm(a, b, V100)   # plan cached for the next call
     print(result.output.shape, result.runtime_s)
 """
 
@@ -42,10 +45,15 @@ from .core import (
 )
 from .gpu import GTX1080, V100, DeviceSpec, get_device
 from .sparse import CSRMatrix, sddmm_reference, sparse_softmax_reference, spmm_reference
+from . import ops
+from .ops import ExecutionContext, default_context
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ops",
+    "ExecutionContext",
+    "default_context",
     "spmm",
     "sddmm",
     "sparse_softmax",

@@ -10,12 +10,13 @@ from .aspt import (
     preprocessing_execution,
 )
 from .cublas import gemm_execution, matmul, transpose_execution
-from .cusparse import cusparse_sddmm, cusparse_spmm
+from .cusparse import cusparse_sddmm, cusparse_spmm, sddmm_execution
 from .merge_spmm import merge_spmm
 
 __all__ = [
     "cusparse_spmm",
     "cusparse_sddmm",
+    "sddmm_execution",
     "merge_spmm",
     "aspt_spmm",
     "aspt_sddmm",

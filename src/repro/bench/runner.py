@@ -1,8 +1,10 @@
 """Benchmark runner: cost-only kernel timing over problem lists.
 
 Benchmarks sweep thousands of problems; numerics are covered by the test
-suite, so the runner times kernels through their ``build_launch`` paths
+suite, so the runner times kernels through the :mod:`repro.ops` cost paths
 (topology in, simulated runtime out) without paying for numpy matmuls.
+Repeated problems — the same matrix at several batch sizes, or several
+kernels on one topology — hit the per-device plan cache.
 """
 
 from __future__ import annotations
@@ -10,17 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-import numpy as np
-
-from ..baselines import aspt, cusparse
-from ..baselines.merge_spmm import spmm_launch as merge_spmm_launch
-from ..baselines.cublas import gemm_execution, transpose_execution
-from ..core.sddmm import build_launch as sddmm_build_launch
-from ..core.spmm import build_launch as spmm_build_launch
+from .. import ops
 from ..core.config import SddmmConfig, SpmmConfig
-from ..core.selection import select_sddmm_config, select_spmm_config
 from ..gpu.device import DeviceSpec
-from ..gpu.executor import ExecutionResult, execute
+from ..gpu.executor import ExecutionResult
 from ..sparse.csr import CSRMatrix
 
 SpmmTimer = Callable[[CSRMatrix, int, DeviceSpec], ExecutionResult]
@@ -33,30 +28,26 @@ SddmmTimer = Callable[[CSRMatrix, int, DeviceSpec], ExecutionResult]
 def sputnik_spmm_time(
     a: CSRMatrix, n: int, device: DeviceSpec, config: SpmmConfig | None = None
 ) -> ExecutionResult:
-    if config is None:
-        precision = "mixed" if a.values.dtype == np.float16 else "fp32"
-        config = select_spmm_config(a, n, precision)
-    return execute(spmm_build_launch(a, n, config, device), device)
+    return ops.spmm_cost(a, n, device, config)
 
 
 def cusparse_spmm_time(
     a: CSRMatrix, n: int, device: DeviceSpec, precision: str = "fp32"
 ) -> ExecutionResult:
-    return execute(cusparse.spmm_launch(a, n, device, precision), device)
+    return ops.spmm_cost(a, n, device, backend="cusparse", precision=precision)
 
 
 def merge_spmm_time(a: CSRMatrix, n: int, device: DeviceSpec) -> ExecutionResult:
-    return execute(merge_spmm_launch(a, n, device), device)
+    return ops.spmm_cost(a, n, device, backend="merge")
 
 
 def aspt_spmm_time(a: CSRMatrix, n: int, device: DeviceSpec) -> ExecutionResult:
-    launch = aspt._panel_launch(a, n, device, "aspt_spmm", 2.0 * a.nnz * n)
-    return execute(launch, device)
+    return ops.spmm_cost(a, n, device, backend="aspt")
 
 
 def dense_spmm_time(a: CSRMatrix, n: int, device: DeviceSpec) -> ExecutionResult:
     """The dense-GEMM equivalent of the sparse problem (Figure 1's line)."""
-    return gemm_execution(a.n_rows, n, a.n_cols, device)
+    return ops.spmm_cost(a, n, device, backend="dense")
 
 
 # ----------------------------------------------------------------------
@@ -65,46 +56,17 @@ def dense_spmm_time(a: CSRMatrix, n: int, device: DeviceSpec) -> ExecutionResult
 def sputnik_sddmm_time(
     mask: CSRMatrix, k: int, device: DeviceSpec, config: SddmmConfig | None = None
 ) -> ExecutionResult:
-    if config is None:
-        config = select_sddmm_config(k)
-    launch, drag = sddmm_build_launch(mask, k, config, device)
-    return execute(launch, device).add_overhead(drag)
+    return ops.sddmm_cost(mask, k, device, config)
 
 
 def cusparse_sddmm_time(mask: CSRMatrix, k: int, device: DeviceSpec) -> ExecutionResult:
     """Constrained GEMM plus the explicit operand transpose, as timed in
     the paper's benchmarks."""
-    config = SddmmConfig(nonzeros_per_block=32, vector_width=1, load_balance=False)
-    launch, drag = sddmm_build_launch(mask, k, config, device)
-    costs = launch.costs.broadcast(launch.n_blocks)
-    costs.fma_instructions = costs.fma_instructions * cusparse.SDDMM_GENERIC_FACTOR
-    costs.other_instructions = (
-        costs.other_instructions * cusparse.SDDMM_GENERIC_FACTOR
-    )
-    from ..gpu.executor import KernelLaunch
-
-    gemm_part = execute(
-        KernelLaunch(
-            name="cusparse_constrained_gemm",
-            n_blocks=launch.n_blocks,
-            resources=launch.resources,
-            costs=costs,
-            flops=launch.flops,
-            pipeline_efficiency=cusparse.PIPELINE_EFFICIENCY,
-        ),
-        device,
-    )
-    trans = transpose_execution(mask.n_cols, k, device)
-    return ExecutionResult.sequence(
-        "cusparse_sddmm+transpose", [trans, gemm_part]
-    ).add_overhead(drag)
+    return ops.sddmm_cost(mask, k, device, backend="cusparse")
 
 
 def aspt_sddmm_time(mask: CSRMatrix, k: int, device: DeviceSpec) -> ExecutionResult:
-    launch = aspt._panel_launch(
-        mask, k, device, "aspt_sddmm", 2.0 * mask.nnz * k, mode="sddmm"
-    )
-    return execute(launch, device)
+    return ops.sddmm_cost(mask, k, device, backend="aspt")
 
 
 # ----------------------------------------------------------------------

@@ -11,7 +11,12 @@ Public entry points:
   ablation (Table II).
 """
 
-from .csc_spmm import csc_as_transposed_csr, spmm_csc
+from .csc_spmm import (
+    csc_as_transposed_csr,
+    execute_spmm_csc,
+    plan_spmm_csc,
+    spmm_csc,
+)
 from .config import Precision, SddmmConfig, SpmmConfig, value_dtype
 from .roma import (
     ROMA_MASK_INSTRUCTIONS,
@@ -21,7 +26,7 @@ from .roma import (
     masked_gather,
     unaligned_rows,
 )
-from .sddmm import sddmm
+from .sddmm import SddmmPlan, execute_sddmm, plan_sddmm, sddmm
 from .selection import (
     next_power_of_two,
     oracle_spmm_config,
@@ -31,8 +36,13 @@ from .selection import (
     spmm_candidates,
     widest_vector_width,
 )
-from .sparse_softmax import sparse_softmax
-from .spmm import spmm
+from .sparse_softmax import (
+    SparseSoftmaxPlan,
+    execute_sparse_softmax,
+    plan_sparse_softmax,
+    sparse_softmax,
+)
+from .spmm import SpmmPlan, execute_spmm, plan_spmm, spmm
 from .swizzle import (
     bundle_rows,
     bundle_weights,
@@ -50,6 +60,17 @@ __all__ = [
     "csc_as_transposed_csr",
     "sddmm",
     "sparse_softmax",
+    "SpmmPlan",
+    "SddmmPlan",
+    "SparseSoftmaxPlan",
+    "plan_spmm",
+    "plan_sddmm",
+    "plan_sparse_softmax",
+    "plan_spmm_csc",
+    "execute_spmm",
+    "execute_sddmm",
+    "execute_sparse_softmax",
+    "execute_spmm_csc",
     "SpmmConfig",
     "SddmmConfig",
     "Precision",

@@ -18,7 +18,7 @@ from ..gpu.device import DeviceSpec
 from ..sparse.csc import CSCMatrix
 from ..sparse.csr import CSRMatrix
 from .config import SpmmConfig
-from .spmm import spmm
+from .spmm import SpmmPlan, execute_spmm, plan_spmm
 from .types import KernelResult
 
 
@@ -29,6 +29,39 @@ def csc_as_transposed_csr(a: CSCMatrix) -> CSRMatrix:
         row_offsets=a.col_offsets,
         column_indices=a.row_indices,
         values=a.values,
+    )
+
+
+def plan_spmm_csc(
+    a: CSCMatrix,
+    n: int,
+    device: DeviceSpec,
+    config: SpmmConfig | None = None,
+) -> SpmmPlan:
+    """Plan ``C = B A`` for a ``(n, rows(A))`` left operand.
+
+    The plan is the CSR plan of the transposed problem (Section IV-C):
+    identical launch geometry, memory transactions, and instruction stream.
+    """
+    return plan_spmm(csc_as_transposed_csr(a), n, device, config)
+
+
+def execute_spmm_csc(
+    plan: SpmmPlan, b: np.ndarray, a: CSCMatrix
+) -> KernelResult:
+    """Run a planned CSC SpMM: numerics via the transposed CSR problem."""
+    b = np.asarray(b)
+    if b.ndim != 2 or b.shape[1] != a.shape[0]:
+        raise ValueError(
+            f"B shape {b.shape} incompatible with A {a.shape} for B @ A"
+        )
+    a_t = csc_as_transposed_csr(a)
+    # Column-major B is row-major B^T: zero-cost reinterpretation.
+    b_t = np.ascontiguousarray(b.T)
+    result = execute_spmm(plan, a_t, b_t)
+    return KernelResult(
+        output=np.ascontiguousarray(result.output.T),
+        execution=result.execution,
     )
 
 
@@ -50,11 +83,4 @@ def spmm_csc(
         raise ValueError(
             f"B shape {b.shape} incompatible with A {a.shape} for B @ A"
         )
-    a_t = csc_as_transposed_csr(a)
-    # Column-major B is row-major B^T: zero-cost reinterpretation.
-    b_t = np.ascontiguousarray(b.T)
-    result = spmm(a_t, b_t, device, config)
-    return KernelResult(
-        output=np.ascontiguousarray(result.output.T),
-        execution=result.execution,
-    )
+    return execute_spmm_csc(plan_spmm_csc(a, b.shape[0], device, config), b, a)

@@ -16,10 +16,12 @@ to preserve L1 capacity (Section VI-A).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..gpu.device import DeviceSpec
-from ..gpu.executor import BlockCosts, KernelLaunch, execute
+from ..gpu.executor import BlockCosts, ExecutionResult, KernelLaunch, execute
 from ..gpu.memory import dram_bytes_with_reuse, l1_hit_fraction
 from ..gpu.occupancy import BlockResources, compute_occupancy
 from ..sparse.csr import CSRMatrix
@@ -205,6 +207,72 @@ def build_launch(
     return launch, drag
 
 
+@dataclass
+class SddmmPlan:
+    """Reusable execution plan for SDDMM on one (topology, config, device).
+
+    Depends only on the mask's structure and the inner dimension ``k`` —
+    never on operand values — so it can be cached per mask and reused
+    across attention heads/layers sharing one connectivity pattern.
+    """
+
+    config: SddmmConfig
+    k: int
+    device: DeviceSpec
+    launch: KernelLaunch
+    #: Early-exit scheduler drag of the over-provisioned grid (seconds).
+    drag: float
+    #: Simulated execution, drag included.
+    execution: ExecutionResult
+    #: Shape of the planned mask, for execute-time validation.
+    mask_shape: tuple[int, int]
+    nnz: int
+
+
+def plan_sddmm(
+    mask: CSRMatrix,
+    k: int,
+    device: DeviceSpec,
+    config: SddmmConfig | None = None,
+) -> SddmmPlan:
+    """Build the full SDDMM plan: costed launch plus simulated run."""
+    if config is None:
+        from .selection import select_sddmm_config
+
+        config = select_sddmm_config(k)
+    launch, drag = build_launch(mask, k, config, device)
+    return SddmmPlan(
+        config=config,
+        k=k,
+        device=device,
+        launch=launch,
+        drag=drag,
+        execution=execute(launch, device).add_overhead(drag),
+        mask_shape=mask.shape,
+        nnz=mask.nnz,
+    )
+
+
+def execute_sddmm(
+    plan: SddmmPlan, lhs: np.ndarray, rhs: np.ndarray, mask: CSRMatrix
+) -> KernelResult:
+    """Run a planned SDDMM: exact numerics plus the plan's simulated cost."""
+    if mask.shape != plan.mask_shape or mask.nnz != plan.nnz:
+        raise ValueError(
+            f"mask {mask.shape} (nnz={mask.nnz}) does not match the planned "
+            f"mask {plan.mask_shape} (nnz={plan.nnz})"
+        )
+    lhs, rhs = _validate(lhs, rhs, mask, plan.config)
+    if lhs.shape[1] != plan.k:
+        raise ValueError(f"inner dim {lhs.shape[1]} but the plan has K={plan.k}")
+    return KernelResult(
+        output=sddmm_reference(
+            lhs, rhs, mask, scale_by_values=plan.config.scale_by_values
+        ),
+        execution=plan.execution,
+    )
+
+
 def sddmm(
     lhs: np.ndarray,
     rhs: np.ndarray,
@@ -218,11 +286,10 @@ def sddmm(
 
         config = select_sddmm_config(np.asarray(lhs).shape[1])
     lhs, rhs = _validate(lhs, rhs, mask, config)
-    launch, drag = build_launch(mask, lhs.shape[1], config, device)
-    execution = execute(launch, device).add_overhead(drag)
+    plan = plan_sddmm(mask, lhs.shape[1], device, config)
     return KernelResult(
         output=sddmm_reference(
             lhs, rhs, mask, scale_by_values=config.scale_by_values
         ),
-        execution=execution,
+        execution=plan.execution,
     )

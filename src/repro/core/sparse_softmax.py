@@ -9,10 +9,12 @@ normalize), all through coalesced vector loads — a bandwidth-bound kernel.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..gpu.device import DeviceSpec
-from ..gpu.executor import BlockCosts, KernelLaunch, execute
+from ..gpu.executor import BlockCosts, ExecutionResult, KernelLaunch, execute
 from ..gpu.occupancy import BlockResources
 from ..sparse.csr import CSRMatrix
 from ..sparse.ops import sparse_softmax_reference
@@ -60,14 +62,52 @@ def build_launch(a: CSRMatrix, device: DeviceSpec) -> KernelLaunch:
     )
 
 
+@dataclass
+class SparseSoftmaxPlan:
+    """Reusable sparse-softmax plan for one (topology, device).
+
+    The kernel is bandwidth-bound and keyed entirely by the matrix's row
+    structure, so one plan serves every set of values sharing the topology
+    (e.g. attention scores across heads and layers)."""
+
+    device: DeviceSpec
+    launch: KernelLaunch
+    execution: ExecutionResult
+    shape: tuple[int, int]
+    nnz: int
+
+
+def plan_sparse_softmax(a: CSRMatrix, device: DeviceSpec) -> SparseSoftmaxPlan:
+    """Build the sparse-softmax plan: costed launch plus simulated run."""
+    if a.nnz == 0:
+        raise ValueError("softmax of an empty sparse matrix is undefined")
+    launch = build_launch(a, device)
+    return SparseSoftmaxPlan(
+        device=device,
+        launch=launch,
+        execution=execute(launch, device),
+        shape=a.shape,
+        nnz=a.nnz,
+    )
+
+
+def execute_sparse_softmax(
+    plan: SparseSoftmaxPlan, a: CSRMatrix, scale: float = 1.0
+) -> KernelResult:
+    """Run a planned sparse softmax on (possibly new) values."""
+    if a.shape != plan.shape or a.nnz != plan.nnz:
+        raise ValueError(
+            f"matrix {a.shape} (nnz={a.nnz}) does not match the planned "
+            f"operand {plan.shape} (nnz={plan.nnz})"
+        )
+    return KernelResult(
+        output=sparse_softmax_reference(a, scale=scale),
+        execution=plan.execution,
+    )
+
+
 def sparse_softmax(
     a: CSRMatrix, device: DeviceSpec, scale: float = 1.0
 ) -> KernelResult:
     """Row-wise softmax over CSR nonzeros: numerics + simulated cost."""
-    if a.nnz == 0:
-        raise ValueError("softmax of an empty sparse matrix is undefined")
-    launch = build_launch(a, device)
-    return KernelResult(
-        output=sparse_softmax_reference(a, scale=scale),
-        execution=execute(launch, device),
-    )
+    return execute_sparse_softmax(plan_sparse_softmax(a, device), a, scale=scale)

@@ -17,10 +17,12 @@ exists to remove.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..gpu.device import DeviceSpec
-from ..gpu.executor import BlockCosts, KernelLaunch, execute
+from ..gpu.executor import BlockCosts, ExecutionResult, KernelLaunch, execute
 from ..gpu.memory import dram_bytes_with_reuse, l1_hit_fraction
 from ..gpu.occupancy import BlockResources, compute_occupancy
 from ..sparse.csr import CSRMatrix
@@ -29,11 +31,12 @@ from .config import SpmmConfig
 from .roma import (
     ROMA_MASK_INSTRUCTIONS,
     ROMA_PRELUDE_INSTRUCTIONS,
+    AlignedRows,
     align_rows,
     unaligned_rows,
 )
 from .swizzle import swizzled_row_groups
-from .tiling import derive_tiling
+from .tiling import SpmmTiling, derive_tiling
 from .types import KernelResult
 
 #: Prelude instructions every subwarp executes (offset loads, index math).
@@ -81,28 +84,42 @@ def _validate(a: CSRMatrix, b: np.ndarray, config: SpmmConfig) -> np.ndarray:
     return b
 
 
-def build_launch(
-    a: CSRMatrix, n: int, config: SpmmConfig, device: DeviceSpec
-) -> KernelLaunch:
-    """Cost the SpMM launch for ``A @ B`` with ``B`` having ``n`` columns.
+def _analyze(
+    a: CSRMatrix, config: SpmmConfig, device: DeviceSpec
+) -> tuple[SpmmTiling, np.ndarray, np.ndarray, AlignedRows]:
+    """Derive the per-matrix execution structure: tiling geometry, the
+    swizzled row order/groups, and the (ROMA-aligned) row extents.
 
-    Separated from :func:`spmm` so benchmarks can cost a problem without
-    paying for the numeric multiply.
+    This is the expensive, values-independent part of launch construction —
+    exactly what a cached :class:`SpmmPlan` amortizes across calls.
     """
     tiling = derive_tiling(config, device.warp_size)
+    order, groups = swizzled_row_groups(
+        a, tiling.block_items_y, config.load_balance
+    )
+    use_vector_a = config.vector_width > 1 and config.roma
+    extents = (
+        align_rows(a, config.vector_width) if use_vector_a else unaligned_rows(a)
+    )
+    return tiling, order, groups, extents
+
+
+def _launch_from_analysis(
+    a: CSRMatrix,
+    n: int,
+    config: SpmmConfig,
+    device: DeviceSpec,
+    tiling: SpmmTiling,
+    groups: np.ndarray,
+    extents: AlignedRows,
+) -> KernelLaunch:
+    """Cost the SpMM launch from a precomputed analysis (see ``_analyze``)."""
     gx, gy = tiling.grid(a.n_rows, n)
     vb = config.element_bytes
     ib = config.index_bytes
     b_vb = vb
 
-    order, groups = swizzled_row_groups(
-        a, tiling.block_items_y, config.load_balance
-    )
-    del order
     use_vector_a = config.vector_width > 1 and config.roma
-    extents = (
-        align_rows(a, config.vector_width) if use_vector_a else unaligned_rows(a)
-    )
     lengths = np.where(groups >= 0, extents.lengths[groups], 0).astype(np.float64)
 
     # (gy, warps, subwarps): lockstep execution means a warp runs for its
@@ -241,6 +258,92 @@ def build_launch(
     )
 
 
+def build_launch(
+    a: CSRMatrix, n: int, config: SpmmConfig, device: DeviceSpec
+) -> KernelLaunch:
+    """Cost the SpMM launch for ``A @ B`` with ``B`` having ``n`` columns.
+
+    Separated from :func:`spmm` so benchmarks can cost a problem without
+    paying for the numeric multiply.
+    """
+    tiling, order, groups, extents = _analyze(a, config, device)
+    del order
+    return _launch_from_analysis(a, n, config, device, tiling, groups, extents)
+
+
+@dataclass
+class SpmmPlan:
+    """Reusable execution plan for SpMM on one (topology, config, device).
+
+    Everything here depends only on the sparse operand's *structure* (and
+    precision), never on its values — so a plan stays valid across weight
+    updates with a fixed topology and can be cached per matrix (the
+    ``repro.ops`` plan cache does exactly that).
+    """
+
+    config: SpmmConfig
+    n: int
+    device: DeviceSpec
+    tiling: SpmmTiling
+    #: The swizzled row-processing order (Section V-C).
+    row_order: np.ndarray
+    #: Rows per thread block in scheduling order, ``-1``-padded.
+    row_groups: np.ndarray
+    #: ROMA-aligned (or raw) per-row extents (Section V-B2).
+    extents: AlignedRows
+    launch: KernelLaunch
+    execution: ExecutionResult
+    #: Shape of the planned sparse operand, for execute-time validation.
+    m: int
+    k: int
+
+
+def plan_spmm(
+    a: CSRMatrix,
+    n: int,
+    device: DeviceSpec,
+    config: SpmmConfig | None = None,
+) -> SpmmPlan:
+    """Build the full SpMM plan: analysis, costed launch, simulated run.
+
+    The plan is pure derived state — :func:`execute_spmm` adds only the
+    numeric multiply.
+    """
+    if config is None:
+        from .selection import select_spmm_config
+
+        precision = "mixed" if a.values.dtype == np.float16 else "fp32"
+        config = select_spmm_config(a, n, precision)
+    tiling, order, groups, extents = _analyze(a, config, device)
+    launch = _launch_from_analysis(a, n, config, device, tiling, groups, extents)
+    return SpmmPlan(
+        config=config,
+        n=n,
+        device=device,
+        tiling=tiling,
+        row_order=order,
+        row_groups=groups,
+        extents=extents,
+        launch=launch,
+        execution=execute(launch, device),
+        m=a.n_rows,
+        k=a.n_cols,
+    )
+
+
+def execute_spmm(plan: SpmmPlan, a: CSRMatrix, b: np.ndarray) -> KernelResult:
+    """Run a planned SpMM: exact numerics plus the plan's simulated cost."""
+    if a.shape != (plan.m, plan.k):
+        raise ValueError(
+            f"matrix {a.shape} does not match the planned operand "
+            f"({plan.m}, {plan.k})"
+        )
+    b = _validate(a, b, plan.config)
+    if b.shape[1] != plan.n:
+        raise ValueError(f"B has {b.shape[1]} columns but the plan has N={plan.n}")
+    return KernelResult(output=spmm_reference(a, b), execution=plan.execution)
+
+
 def spmm(
     a: CSRMatrix,
     b: np.ndarray,
@@ -254,6 +357,4 @@ def spmm(
         precision = "mixed" if a.values.dtype == np.float16 else "fp32"
         config = select_spmm_config(a, np.asarray(b).shape[1], precision)
     b = _validate(a, b, config)
-    launch = build_launch(a, b.shape[1], config, device)
-    execution = execute(launch, device)
-    return KernelResult(output=spmm_reference(a, b), execution=execution)
+    return execute_spmm(plan_spmm(a, b.shape[1], device, config), a, b)

@@ -14,14 +14,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..baselines.cublas import gemm_execution, matmul
-from ..core.sddmm import build_launch as sddmm_launch, sddmm
+from .. import ops
 from ..core.config import SddmmConfig
-from ..core.selection import select_sddmm_config, select_spmm_config
-from ..core.sparse_softmax import build_launch as softmax_launch, sparse_softmax
-from ..core.spmm import build_launch as spmm_launch, spmm
 from ..gpu.device import DeviceSpec
-from ..gpu.executor import execute
 from ..sparse.csr import CSRMatrix
 from .profile import Profile
 
@@ -50,13 +45,13 @@ def dense_attention(
     k = np.asarray(k, np.float32)
     v = np.asarray(v, np.float32)
     dk = q.shape[1]
-    scores = matmul(q, k.T.copy(), device)
+    scores = ops.matmul(q, k.T.copy(), device)
     logits = scores.output / np.sqrt(dk)
     if causal:
         mask = np.triu(np.ones(logits.shape, dtype=bool), k=1)
         logits = np.where(mask, -np.inf, logits)
     probs = softmax(logits, axis=1)
-    out = matmul(probs, v, device)
+    out = ops.matmul(probs, v, device)
     if profile is not None:
         profile.add(scores.execution)
         # Dense softmax: bandwidth-bound passes over the seq x seq scores.
@@ -86,11 +81,9 @@ def sparse_attention(
     k = np.asarray(k, np.float32)
     v = np.asarray(v, np.float32)
     dk = q.shape[1]
-    scores = sddmm(q, k, mask, device, select_sddmm_config(dk))
-    probs = sparse_softmax(scores.output, device, scale=1.0 / np.sqrt(dk))
-    out = spmm(
-        probs.output, v, device, select_spmm_config(probs.output, v.shape[1])
-    )
+    scores = ops.sddmm(q, k, mask, device)
+    probs = ops.sparse_softmax(scores.output, device, scale=1.0 / np.sqrt(dk))
+    out = ops.spmm(probs.output, v, device)
     if profile is not None:
         profile.add(scores.execution)
         profile.add(probs.execution)
@@ -104,9 +97,9 @@ def dense_attention_cost(
     """Cost-only dense attention for ``n_instances`` (batch x head) passes."""
     from .activation import elementwise_execution
 
-    qk = gemm_execution(seq, seq, dk, device)
+    qk = ops.matmul_cost(seq, seq, dk, device)
     sm = elementwise_execution(seq * seq, device, "dense_softmax", reads=2)
-    av = gemm_execution(seq, dk, seq, device)
+    av = ops.matmul_cost(seq, dk, seq, device)
     for part in (qk, sm, av):
         scaled = part.add_overhead(0.0)
         scaled.runtime_s *= n_instances
@@ -122,11 +115,10 @@ def sparse_attention_cost(
     The mask is shared across heads and layers (Section VII-C1), so one
     launch is costed and scaled.
     """
-    sddmm_l, drag = sddmm_launch(mask, dk, SddmmConfig(vector_width=4 if dk % 4 == 0 else 1), device)
-    sddmm_r = execute(sddmm_l, device).add_overhead(drag)
-    sm_r = execute(softmax_launch(mask, device), device)
-    spmm_cfg = select_spmm_config(mask, dk)
-    spmm_r = execute(spmm_launch(mask, dk, spmm_cfg, device), device)
+    sddmm_cfg = SddmmConfig(vector_width=4 if dk % 4 == 0 else 1)
+    sddmm_r = ops.sddmm_cost(mask, dk, device, sddmm_cfg)
+    sm_r = ops.sparse_softmax_cost(mask, device)
+    spmm_r = ops.spmm_cost(mask, dk, device)
     for part in (sddmm_r, sm_r, spmm_r):
         scaled = part.add_overhead(0.0)
         scaled.runtime_s *= n_instances

@@ -16,11 +16,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..baselines.cublas import matmul
-from ..core.sddmm import sddmm
-from ..core.spmm import spmm
-from ..core.config import SddmmConfig, SpmmConfig
-from ..core.selection import select_sddmm_config, select_spmm_config
+from .. import ops
+from ..core.config import SpmmConfig
 from ..gpu.device import DeviceSpec
 from ..sparse.csr import CSRMatrix
 from ..sparse.transpose import CachedTranspose
@@ -45,37 +42,58 @@ class Linear:
     def forward(
         self, x: np.ndarray, device: DeviceSpec, profile: Profile | None = None
     ) -> np.ndarray:
-        result = matmul(self.weight, x, device)
+        result = ops.matmul(self.weight, x, device)
         if profile is not None:
             profile.add(result.execution)
         return result.output
 
 
 class SparseLinear:
-    """Weight-sparse linear layer backed by the Sputnik kernels."""
+    """Weight-sparse linear layer backed by the Sputnik kernels.
+
+    Per-weight state the kernels need — the transpose topology plan and the
+    transposed CSR used by the input-gradient SpMM — is cached on the layer
+    and invalidated exactly when the weight changes: assigning a new weight
+    rebuilds everything; a same-topology value update (``update_values``)
+    keeps the transpose plan and only refreshes the transposed values.
+    Kernel plans and config selections are cached per topology by the
+    :mod:`repro.ops` execution context.
+    """
 
     def __init__(
         self, weight: CSRMatrix, config: SpmmConfig | None = None
     ) -> None:
-        self.weight = weight
         self.config = config
+        self.weight = weight  # property: builds the per-weight caches
+
+    @property
+    def weight(self) -> CSRMatrix:
+        return self._weight
+
+    @weight.setter
+    def weight(self, weight: CSRMatrix) -> None:
+        """Swap the weight; rebuilds the transpose plan (new topology)."""
+        self._weight = weight
         self._transpose_plan = CachedTranspose(weight)
+        self._w_t: CSRMatrix | None = None
 
     @property
     def weight_bytes(self) -> int:
         return self.weight.memory_bytes()
 
-    def _spmm_config(self, n: int) -> SpmmConfig:
-        if self.config is not None:
-            return self.config
-        precision = "mixed" if self.weight.values.dtype == np.float16 else "fp32"
-        return select_spmm_config(self.weight, n, precision)
+    def _weight_transpose(self) -> CSRMatrix:
+        """The cached ``Wᵀ`` CSR for the backward SpMM (Section IX)."""
+        if self._w_t is None:
+            self._w_t = self._transpose_plan.transpose(
+                self.weight.astype(np.float32)
+            )
+        return self._w_t
 
     def forward(
         self, x: np.ndarray, device: DeviceSpec, profile: Profile | None = None
     ) -> np.ndarray:
         """``Y = W X``; ``x`` is ``(in_features, batch)``."""
-        result = spmm(self.weight, x, device, self._spmm_config(x.shape[1]))
+        result = ops.spmm(self.weight, x, device, self.config)
         if profile is not None:
             profile.add(result.execution)
         return result.output
@@ -90,24 +108,24 @@ class SparseLinear:
         """Gradients ``(δW, δX)`` for ``Y = W X`` (Section IV-B).
 
         ``δW = δY Xᵀ ∘ I[W]`` is exactly the deep-learning SDDMM; ``δX``
-        reuses the cached-topology transpose so no CSR transpose is paid.
+        reuses the cached transposed CSR so no per-step transpose is paid.
         """
         grad_out = np.asarray(grad_out, dtype=np.float32)
         x32 = np.asarray(x, dtype=np.float32)
-        config = select_sddmm_config(x32.shape[1])
-        grad_w = sddmm(grad_out, x32, self.weight, device, config)
+        grad_w = ops.sddmm(grad_out, x32, self.weight, device)
         if profile is not None:
             profile.add(grad_w.execution)
 
-        w_t = self._transpose_plan.transpose(self.weight.astype(np.float32))
-        grad_x = spmm(w_t, grad_out, device, select_spmm_config(w_t, grad_out.shape[1]))
+        grad_x = ops.spmm(self._weight_transpose(), grad_out, device)
         if profile is not None:
             profile.add(grad_x.execution)
         return grad_w.output, grad_x.output
 
     def update_values(self, new_values: np.ndarray) -> None:
-        """In-place value update (same topology — no new transpose plan)."""
-        self.weight = self.weight.with_values(new_values)
+        """In-place value update: same topology, so the transpose plan and
+        kernel plans stay valid — only the cached transposed values drop."""
+        self._weight = self._weight.with_values(new_values)
+        self._w_t = None
 
     def reference_forward(self, x: np.ndarray) -> np.ndarray:
         """Numpy ground truth (for tests)."""

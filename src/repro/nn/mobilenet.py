@@ -25,9 +25,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..baselines.cublas import matmul
-from ..core.selection import oracle_spmm_config, pad_batch_for_vectors
-from ..core.spmm import spmm
+from .. import ops
+from ..core.selection import pad_batch_for_vectors
 from ..gpu.device import DeviceSpec
 from ..sparse.csr import CSRMatrix
 from .activation import bias_relu
@@ -148,7 +147,6 @@ class MobileNetV1:
         self.fc = (
             rng.standard_normal((NUM_CLASSES, in_ch)) * fc_scale
         ).astype(np.float32)
-        self._oracle_cache: dict[tuple[int, int, int], object] = {}
 
     # ------------------------------------------------------------------
     def weight_bytes(self) -> int:
@@ -173,20 +171,16 @@ class MobileNetV1:
             # Vector memory instructions need N % 4 == 0 (Section VII-A1);
             # batch-1 spatial sizes are padded like the paper's benchmarks.
             padded = pad_batch_for_vectors(x2d.astype(np.float32))
-            config = None
-            if self.use_oracle:
-                key = (weight.n_rows, weight.n_cols, padded.shape[1])
-                config = self._oracle_cache.get(key)
-                if config is None:
-                    config = oracle_spmm_config(weight, padded.shape[1], device)
-                    self._oracle_cache[key] = config
-            result = spmm(weight, padded, device, config)
+            # The oracle selection (Section VII-D1) is cached per weight
+            # topology by the execution context.
+            selector = "oracle" if self.use_oracle else "heuristic"
+            result = ops.spmm(weight, padded, device, selector=selector)
             if profile is not None:
                 profile.add(result.execution)
             out = result.output[:, : x2d.shape[1]]
             # Bias + ReLU fused into the sparse kernel's epilogue.
             return np.maximum(out + bias[:, None], 0)
-        result = matmul(weight, x2d.astype(np.float32), device)
+        result = ops.matmul(weight, x2d.astype(np.float32), device)
         if profile is not None:
             profile.add(result.execution)
         out, epilogue = bias_relu(result.output, bias, device)
@@ -208,7 +202,7 @@ class MobileNetV1:
             profile.add_weights(self.weight_bytes())
 
         cols = im2col(image, kernel=3, stride=2, padding=1)
-        r = matmul(self.first_conv, cols, device)
+        r = ops.matmul(self.first_conv, cols, device)
         if profile is not None:
             profile.add(r.execution)
         x2d, epilogue = bias_relu(r.output, self.first_bias, device)
@@ -228,7 +222,7 @@ class MobileNetV1:
             x = x2d.reshape(x2d.shape[0], x.shape[1], x.shape[2])
 
         pooled = x.mean(axis=(1, 2), keepdims=False)
-        logits = matmul(self.fc, pooled[:, None], device)
+        logits = ops.matmul(self.fc, pooled[:, None], device)
         if profile is not None:
             profile.add(logits.execution)
         return logits.output[:, 0]

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..baselines.cublas import gemm_execution
+from .. import ops
 from ..datasets.attention import banded_random_mask
 from ..gpu.device import DeviceSpec
 from ..sparse.csr import CSRMatrix
@@ -90,9 +90,9 @@ def _projection_costs(
     """QKV/output projections and the FFN for one layer (cuBLAS GEMMs)."""
     t, d, f = config.tokens, config.d_model, config.d_ffn
     for _ in range(4):  # q, k, v, output projections
-        profile.add(gemm_execution(t, d, d, device))
-    profile.add(gemm_execution(t, f, d, device))
-    profile.add(gemm_execution(t, d, f, device))
+        profile.add(ops.matmul_cost(t, d, d, device))
+    profile.add(ops.matmul_cost(t, f, d, device))
+    profile.add(ops.matmul_cost(t, d, f, device))
 
 
 def profile_dense(config: TransformerConfig, device: DeviceSpec) -> Profile:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..baselines.cublas import matmul
+from .. import ops
 from ..gpu.device import DeviceSpec
 from ..sparse.csr import CSRMatrix
 from .attention import dense_attention, sparse_attention
@@ -69,7 +69,7 @@ class TransformerLayer:
     def _project(
         self, w: np.ndarray, x: np.ndarray, device: DeviceSpec, profile
     ) -> np.ndarray:
-        result = matmul(w, x.T.copy(), device)
+        result = ops.matmul(w, x.T.copy(), device)
         if profile is not None:
             profile.add(result.execution)
         return result.output.T

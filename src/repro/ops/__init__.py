@@ -1,0 +1,70 @@
+"""repro.ops — the unified operator dispatch layer.
+
+Single entry point for every sparse operator in the reproduction:
+
+- :func:`spmm`, :func:`sddmm`, :func:`sparse_softmax`, :func:`csc_spmm`,
+  :func:`matmul` — numerics + simulated cost, dispatched by backend string;
+- ``*_cost`` variants — simulated cost only (the benchmark path);
+- :class:`ExecutionContext` / :func:`default_context` — device + per-matrix
+  plan cache + telemetry;
+- :func:`register` / :func:`available` — the kernel registry, for adding or
+  enumerating backends.
+
+Example::
+
+    from repro import ops
+    from repro.gpu import V100
+
+    y = ops.spmm(weights, x, V100)                  # sputnik, plan cached
+    y2 = ops.spmm(weights, x, V100)                 # plan-cache hit
+    yc = ops.spmm(weights, x, V100, backend="cusparse")
+    print(ops.default_context(V100).telemetry.summary())
+"""
+
+from .context import (
+    ExecutionContext,
+    OpStats,
+    Telemetry,
+    default_context,
+    reset_default_contexts,
+)
+from .operators import (
+    csc_spmm,
+    csc_spmm_cost,
+    matmul,
+    matmul_cost,
+    resolve_context,
+    sddmm,
+    sddmm_cost,
+    sparse_softmax,
+    sparse_softmax_cost,
+    spmm,
+    spmm_cost,
+)
+from .plans import PlanCache, matrix_fingerprint
+from .registry import KernelImpl, available, get_impl, register
+
+__all__ = [
+    "spmm",
+    "spmm_cost",
+    "sddmm",
+    "sddmm_cost",
+    "sparse_softmax",
+    "sparse_softmax_cost",
+    "csc_spmm",
+    "csc_spmm_cost",
+    "matmul",
+    "matmul_cost",
+    "ExecutionContext",
+    "Telemetry",
+    "OpStats",
+    "default_context",
+    "reset_default_contexts",
+    "resolve_context",
+    "PlanCache",
+    "matrix_fingerprint",
+    "KernelImpl",
+    "register",
+    "get_impl",
+    "available",
+]

@@ -1,0 +1,273 @@
+"""Execution contexts: device + plan cache + telemetry.
+
+An :class:`ExecutionContext` is the stateful half of the dispatch layer. It
+carries the :class:`~repro.gpu.device.DeviceSpec` every launch is costed
+against, a :class:`~repro.ops.plans.PlanCache` of per-matrix kernel plans
+(tiling, swizzled row order, ROMA extents, selected configs, simulated
+execution), and running telemetry per (op, backend).
+
+Call sites that don't manage a context explicitly share a module-level
+default per device via :func:`default_context`, so plan reuse happens
+automatically across layers and training steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.cublas import gemm_execution
+from ..core.config import SddmmConfig, SpmmConfig
+from ..core.csc_spmm import plan_spmm_csc
+from ..core.sddmm import SddmmPlan, plan_sddmm
+from ..core.selection import (
+    oracle_spmm_config,
+    select_sddmm_config,
+    select_spmm_config,
+)
+from ..core.sparse_softmax import SparseSoftmaxPlan, plan_sparse_softmax
+from ..core.spmm import SpmmPlan, plan_spmm
+from ..gpu.device import V100, DeviceSpec
+from ..gpu.executor import ExecutionResult
+from ..sparse.csc import CSCMatrix
+from ..sparse.csr import CSRMatrix
+from .plans import DEFAULT_MAX_PLANS, PlanCache, matrix_fingerprint
+
+#: Valid config selectors for ops that resolve their own config.
+SELECTORS = ("heuristic", "oracle")
+
+
+@dataclass
+class OpStats:
+    """Running counters for one (op, backend) pair."""
+
+    launches: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    simulated_seconds: float = 0.0
+
+
+@dataclass
+class Telemetry:
+    """Per-context instrumentation, keyed by (op, backend)."""
+
+    stats: dict[tuple[str, str], OpStats] = field(default_factory=dict)
+
+    def _get(self, op: str, backend: str) -> OpStats:
+        return self.stats.setdefault((op, backend), OpStats())
+
+    def record_launch(
+        self, op: str, backend: str, execution: ExecutionResult
+    ) -> None:
+        entry = self._get(op, backend)
+        entry.launches += 1
+        entry.simulated_seconds += execution.runtime_s
+
+    def record_cache(self, op: str, backend: str, hit: bool) -> None:
+        entry = self._get(op, backend)
+        if hit:
+            entry.cache_hits += 1
+        else:
+            entry.cache_misses += 1
+
+    @property
+    def launches(self) -> int:
+        return sum(s.launches for s in self.stats.values())
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(s.cache_hits for s in self.stats.values())
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(s.cache_misses for s in self.stats.values())
+
+    @property
+    def simulated_seconds(self) -> float:
+        return sum(s.simulated_seconds for s in self.stats.values())
+
+    def summary(self) -> str:
+        """One line per (op, backend), for logs and examples."""
+        lines = []
+        for (op, backend), s in sorted(self.stats.items()):
+            lines.append(
+                f"{op}/{backend}: launches={s.launches} "
+                f"hits={s.cache_hits} misses={s.cache_misses} "
+                f"simulated={s.simulated_seconds * 1e6:.1f}us"
+            )
+        return "\n".join(lines)
+
+
+class ExecutionContext:
+    """Device + plan cache + telemetry for the dispatch layer.
+
+    One context maps to one simulated device; plans built against a
+    different :class:`DeviceSpec` never share a cache, so keys only need
+    (op, matrix fingerprint, problem dims, config).
+    """
+
+    def __init__(
+        self, device: DeviceSpec = V100, max_plans: int = DEFAULT_MAX_PLANS
+    ) -> None:
+        self.device = device
+        self.plans = PlanCache(max_plans)
+        self.telemetry = Telemetry()
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionContext(device={self.device.name!r}, "
+            f"plans={len(self.plans)}, launches={self.telemetry.launches})"
+        )
+
+    def clear(self) -> None:
+        """Drop all cached plans (telemetry is kept)."""
+        self.plans.clear()
+
+    # ------------------------------------------------------------------
+    # Config selection (cached per topology)
+    # ------------------------------------------------------------------
+    def spmm_config(
+        self,
+        a: CSRMatrix,
+        n: int,
+        selector: str = "heuristic",
+        fingerprint: str | None = None,
+    ) -> SpmmConfig:
+        """Resolve an SpMM config via the paper's heuristic or the oracle.
+
+        Both selections are cached: the heuristic for uniformity, the
+        oracle because it costs every candidate variant (Section VII-B).
+        """
+        if selector not in SELECTORS:
+            raise ValueError(
+                f"unknown selector {selector!r}; expected one of {SELECTORS}"
+            )
+        fp = fingerprint or matrix_fingerprint(a)
+        precision = "mixed" if a.values.dtype == np.float16 else "fp32"
+        key = ("spmm_config", fp, n, precision, selector)
+        config = self.plans.get(key)
+        if config is None:
+            if selector == "oracle":
+                config = oracle_spmm_config(a, n, self.device, precision)
+            else:
+                config = select_spmm_config(a, n, precision)
+            self.plans.put(key, config)
+        return config
+
+    # ------------------------------------------------------------------
+    # Plans (cached per topology x config x problem dims)
+    # ------------------------------------------------------------------
+    def spmm_plan(
+        self,
+        a: CSRMatrix,
+        n: int,
+        config: SpmmConfig | None = None,
+        selector: str = "heuristic",
+        backend: str = "sputnik",
+    ) -> SpmmPlan:
+        fp = matrix_fingerprint(a)
+        if config is None:
+            config = self.spmm_config(a, n, selector, fingerprint=fp)
+        key = ("spmm", fp, n, config)
+        plan, hit = self.plans.get_or_build(
+            key, lambda: plan_spmm(a, n, self.device, config)
+        )
+        self.telemetry.record_cache("spmm", backend, hit)
+        return plan
+
+    def sddmm_plan(
+        self,
+        mask: CSRMatrix,
+        k: int,
+        config: SddmmConfig | None = None,
+        backend: str = "sputnik",
+    ) -> SddmmPlan:
+        if config is None:
+            config = select_sddmm_config(k)
+        fp = matrix_fingerprint(mask)
+        key = ("sddmm", fp, k, config)
+        plan, hit = self.plans.get_or_build(
+            key, lambda: plan_sddmm(mask, k, self.device, config)
+        )
+        self.telemetry.record_cache("sddmm", backend, hit)
+        return plan
+
+    def sparse_softmax_plan(
+        self, a: CSRMatrix, backend: str = "sputnik"
+    ) -> SparseSoftmaxPlan:
+        fp = matrix_fingerprint(a)
+        key = ("sparse_softmax", fp)
+        plan, hit = self.plans.get_or_build(
+            key, lambda: plan_sparse_softmax(a, self.device)
+        )
+        self.telemetry.record_cache("sparse_softmax", backend, hit)
+        return plan
+
+    def csc_spmm_plan(
+        self,
+        a: CSCMatrix,
+        n: int,
+        config: SpmmConfig | None = None,
+        backend: str = "sputnik",
+    ) -> SpmmPlan:
+        fp = matrix_fingerprint(a)
+        key = ("csc_spmm", fp, n, config)
+        plan, hit = self.plans.get_or_build(
+            key, lambda: plan_spmm_csc(a, n, self.device, config)
+        )
+        self.telemetry.record_cache("csc_spmm", backend, hit)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Cost-only results (cached; used by benchmarks and model cost paths)
+    # ------------------------------------------------------------------
+    def gemm_execution(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        element_bytes: int = 4,
+        op: str = "matmul",
+        backend: str = "cublas",
+    ) -> ExecutionResult:
+        """Cached dense-GEMM cost (the cuBLAS dispatch search is not free).
+
+        ``op``/``backend`` only attribute the telemetry — callers like the
+        dense-SpMM backend pass their own names; the cache entry is shared.
+        """
+        key = ("matmul", m, n, k, element_bytes)
+        result, hit = self.plans.get_or_build(
+            key, lambda: gemm_execution(m, n, k, self.device, element_bytes)
+        )
+        self.telemetry.record_cache(op, backend, hit)
+        return result
+
+    def cost(self, key: tuple, build) -> ExecutionResult:
+        """Generic cached cost entry for baseline backends.
+
+        ``key[0]`` must be the op name and ``key[1]`` the backend (used for
+        telemetry attribution).
+        """
+        result, hit = self.plans.get_or_build(key, build)
+        self.telemetry.record_cache(key[0], key[1], hit)
+        return result
+
+
+#: Module-level default contexts, one per device. Shared by every call site
+#: that does not pass an explicit context.
+_DEFAULT_CONTEXTS: dict[DeviceSpec, ExecutionContext] = {}
+
+
+def default_context(device: DeviceSpec = V100) -> ExecutionContext:
+    """The shared per-device context used when none is passed explicitly."""
+    ctx = _DEFAULT_CONTEXTS.get(device)
+    if ctx is None:
+        ctx = ExecutionContext(device)
+        _DEFAULT_CONTEXTS[device] = ctx
+    return ctx
+
+
+def reset_default_contexts() -> None:
+    """Drop all shared contexts (fresh caches and telemetry) — for tests."""
+    _DEFAULT_CONTEXTS.clear()

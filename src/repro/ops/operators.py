@@ -1,0 +1,216 @@
+"""Operator wrappers: the single entry point for every sparse kernel.
+
+Each wrapper resolves (context, backend, config) and dispatches through the
+:mod:`~repro.ops.registry`:
+
+- ``device``/``context``: pass an explicit :class:`ExecutionContext` to
+  manage caching yourself, or just a :class:`DeviceSpec` to share the
+  module-level :func:`~repro.ops.context.default_context` for that device
+  (passing neither means the default V100 context);
+- ``backend``: registry string — ``"sputnik"`` (default), ``"cusparse"``,
+  ``"merge"``, ``"aspt"``, ``"dense"``, ...;
+- ``config``: an explicit kernel config, or ``None`` to resolve one via
+  :mod:`repro.core.selection` (``selector="oracle"`` costs every candidate,
+  Section VII-B) and cache the choice per topology.
+
+``*_cost`` variants return the simulated :class:`ExecutionResult` only —
+the benchmark path, also plan-cached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import SddmmConfig, SpmmConfig
+from ..core.types import KernelResult
+from ..gpu.device import DeviceSpec
+from ..gpu.executor import ExecutionResult
+from ..sparse.csc import CSCMatrix
+from ..sparse.csr import CSRMatrix
+from .context import ExecutionContext, default_context
+from .registry import get_impl
+
+
+def resolve_context(
+    context: ExecutionContext | None, device: DeviceSpec | None
+) -> ExecutionContext:
+    """Pick the context to run in; `device` must agree with an explicit one."""
+    if context is not None:
+        if device is not None and device != context.device:
+            raise ValueError(
+                f"device {device.name!r} conflicts with the context's "
+                f"{context.device.name!r}"
+            )
+        return context
+    return default_context(device) if device is not None else default_context()
+
+
+def spmm(
+    a: CSRMatrix,
+    b: np.ndarray,
+    device: DeviceSpec | None = None,
+    config: SpmmConfig | None = None,
+    *,
+    context: ExecutionContext | None = None,
+    backend: str = "sputnik",
+    selector: str = "heuristic",
+) -> KernelResult:
+    """``C = A @ B`` with sparse ``A``: exact numerics + simulated cost."""
+    ctx = resolve_context(context, device)
+    impl = get_impl("spmm", backend)
+    result = impl.run(ctx, a, b, config, selector)
+    ctx.telemetry.record_launch("spmm", backend, result.execution)
+    return result
+
+
+def spmm_cost(
+    a: CSRMatrix,
+    n: int,
+    device: DeviceSpec | None = None,
+    config: SpmmConfig | None = None,
+    *,
+    context: ExecutionContext | None = None,
+    backend: str = "sputnik",
+    selector: str = "heuristic",
+    **kwargs,
+) -> ExecutionResult:
+    """Simulated SpMM cost only (``n`` = dense batch columns)."""
+    ctx = resolve_context(context, device)
+    impl = get_impl("spmm", backend)
+    result = impl.cost(ctx, a, n, config, selector, **kwargs)
+    ctx.telemetry.record_launch("spmm", backend, result)
+    return result
+
+
+def sddmm(
+    lhs: np.ndarray,
+    rhs: np.ndarray,
+    mask: CSRMatrix,
+    device: DeviceSpec | None = None,
+    config: SddmmConfig | None = None,
+    *,
+    context: ExecutionContext | None = None,
+    backend: str = "sputnik",
+) -> KernelResult:
+    """``(lhs @ rhs^T) ∘ I[mask]``: exact numerics + simulated cost."""
+    ctx = resolve_context(context, device)
+    impl = get_impl("sddmm", backend)
+    result = impl.run(ctx, lhs, rhs, mask, config)
+    ctx.telemetry.record_launch("sddmm", backend, result.execution)
+    return result
+
+
+def sddmm_cost(
+    mask: CSRMatrix,
+    k: int,
+    device: DeviceSpec | None = None,
+    config: SddmmConfig | None = None,
+    *,
+    context: ExecutionContext | None = None,
+    backend: str = "sputnik",
+) -> ExecutionResult:
+    """Simulated SDDMM cost only (``k`` = dot-product inner dimension)."""
+    ctx = resolve_context(context, device)
+    impl = get_impl("sddmm", backend)
+    result = impl.cost(ctx, mask, k, config)
+    ctx.telemetry.record_launch("sddmm", backend, result)
+    return result
+
+
+def sparse_softmax(
+    a: CSRMatrix,
+    device: DeviceSpec | None = None,
+    scale: float = 1.0,
+    *,
+    context: ExecutionContext | None = None,
+    backend: str = "sputnik",
+) -> KernelResult:
+    """Row-wise softmax over CSR nonzeros (Section VII-C)."""
+    ctx = resolve_context(context, device)
+    impl = get_impl("sparse_softmax", backend)
+    result = impl.run(ctx, a, scale)
+    ctx.telemetry.record_launch("sparse_softmax", backend, result.execution)
+    return result
+
+
+def sparse_softmax_cost(
+    a: CSRMatrix,
+    device: DeviceSpec | None = None,
+    *,
+    context: ExecutionContext | None = None,
+    backend: str = "sputnik",
+) -> ExecutionResult:
+    """Simulated sparse-softmax cost only."""
+    ctx = resolve_context(context, device)
+    impl = get_impl("sparse_softmax", backend)
+    result = impl.cost(ctx, a)
+    ctx.telemetry.record_launch("sparse_softmax", backend, result)
+    return result
+
+
+def csc_spmm(
+    b: np.ndarray,
+    a: CSCMatrix,
+    device: DeviceSpec | None = None,
+    config: SpmmConfig | None = None,
+    *,
+    context: ExecutionContext | None = None,
+    backend: str = "sputnik",
+) -> KernelResult:
+    """``C = B @ A`` with CSC ``A`` and column-major ``B``/``C``."""
+    ctx = resolve_context(context, device)
+    impl = get_impl("csc_spmm", backend)
+    result = impl.run(ctx, b, a, config)
+    ctx.telemetry.record_launch("csc_spmm", backend, result.execution)
+    return result
+
+
+def csc_spmm_cost(
+    a: CSCMatrix,
+    n: int,
+    device: DeviceSpec | None = None,
+    config: SpmmConfig | None = None,
+    *,
+    context: ExecutionContext | None = None,
+    backend: str = "sputnik",
+) -> ExecutionResult:
+    """Simulated CSC-SpMM cost only (``n`` = rows of the dense left operand)."""
+    ctx = resolve_context(context, device)
+    impl = get_impl("csc_spmm", backend)
+    result = impl.cost(ctx, a, n, config)
+    ctx.telemetry.record_launch("csc_spmm", backend, result)
+    return result
+
+
+def matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    device: DeviceSpec | None = None,
+    *,
+    context: ExecutionContext | None = None,
+    backend: str = "cublas",
+) -> KernelResult:
+    """Dense ``A @ B`` (the models' dense projections and baselines)."""
+    ctx = resolve_context(context, device)
+    impl = get_impl("matmul", backend)
+    result = impl.run(ctx, a, b)
+    ctx.telemetry.record_launch("matmul", backend, result.execution)
+    return result
+
+
+def matmul_cost(
+    m: int,
+    n: int,
+    k: int,
+    device: DeviceSpec | None = None,
+    element_bytes: int = 4,
+    *,
+    context: ExecutionContext | None = None,
+    backend: str = "cublas",
+) -> ExecutionResult:
+    """Simulated dense-GEMM cost only."""
+    ctx = resolve_context(context, device)
+    impl = get_impl("matmul", backend)
+    result = impl.cost(ctx, m, n, k, element_bytes)
+    ctx.telemetry.record_launch("matmul", backend, result)
+    return result

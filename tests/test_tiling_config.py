@@ -145,3 +145,61 @@ class TestSelectionHeuristics:
         c = select_sddmm_config(128)
         assert c.nonzeros_per_block == 32 and c.vector_width == 4
         assert select_sddmm_config(33).vector_width == 1
+
+
+class TestSelectionEdgeCases:
+    """Satellite coverage for the selection heuristic's boundary behavior:
+    non-power-of-two N, N above the tile cap, and odd-dimension vector
+    fallback — each config must also drive the kernel to exact numerics."""
+
+    def _run(self, rng, a, n, config):
+        from repro.core import spmm
+        from repro.gpu import V100
+
+        b = rng.standard_normal((a.n_cols, n)).astype(np.float32)
+        out = spmm(a, b, V100, config).output
+        ref = a.to_dense().astype(np.float32) @ b
+        assert np.allclose(out, ref, atol=1e-4)
+
+    @pytest.mark.parametrize("n", [3, 5, 6, 12, 20, 48, 96, 100])
+    def test_non_power_of_two_n_rounds_up_and_runs(self, rng, small_sparse, n):
+        c = select_spmm_config(small_sparse, n)
+        assert c.block_items_x == min(64, next_power_of_two(n))
+        # The vector width must divide both the tile and the real N, or the
+        # kernel's vector loads would run off the batch.
+        assert c.block_items_x % c.vector_width == 0
+        assert n % c.vector_width == 0
+        self._run(rng, small_sparse, n, c)
+
+    @pytest.mark.parametrize("n", [65, 100, 129, 512])
+    def test_n_above_tile_cap_clamps_to_max_tile(self, rng, small_sparse, n):
+        from repro.core.selection import MAX_TILE_X
+
+        c = select_spmm_config(small_sparse, n)
+        assert c.block_items_x == MAX_TILE_X
+        if n == 100:  # 100 = 4*25: vectors stay wide despite the odd tile fit
+            assert c.vector_width == 4
+        self._run(rng, small_sparse, n, c)
+
+    @pytest.mark.parametrize("n,expected_vw", [(7, 1), (33, 1), (6, 2), (66, 2)])
+    def test_odd_dims_fall_back_to_narrow_vectors(
+        self, rng, small_sparse, n, expected_vw
+    ):
+        c = select_spmm_config(small_sparse, n)
+        assert c.vector_width == expected_vw
+        self._run(rng, small_sparse, n, c)
+
+    def test_sddmm_odd_k_falls_back_to_scalar(self):
+        assert select_sddmm_config(7).vector_width == 1
+        assert select_sddmm_config(10).vector_width == 2
+
+    def test_pad_batch_for_vectors_restores_vector_width(self, rng):
+        from repro.core.selection import pad_batch_for_vectors
+
+        b = rng.standard_normal((16, 10)).astype(np.float32)
+        padded = pad_batch_for_vectors(b)
+        assert padded.shape == (16, 12)
+        assert (padded[:, 10:] == 0).all()
+        assert widest_vector_width(padded.shape[1]) == 4
+        # Already-aligned batches pass through untouched.
+        assert pad_batch_for_vectors(padded) is padded
