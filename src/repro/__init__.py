@@ -20,7 +20,10 @@ evaluation on a software model of a V100-class GPU (see DESIGN.md):
 - :mod:`repro.bench` — the sweep runner and speedup statistics;
 - :mod:`repro.ops` — the unified operator dispatch layer: a kernel
   registry (swap backends by string), per-matrix plan caching, and
-  telemetry. All higher layers call kernels through it.
+  telemetry. All higher layers call kernels through it;
+- :mod:`repro.reliability` — fault injection, backend fallback chains
+  with retry/backoff, a structured error taxonomy, and numerical
+  guardrails (fp16-overflow degraded mode, deep CSR validation).
 
 Quick start::
 
@@ -45,13 +48,14 @@ from .core import (
 )
 from .gpu import GTX1080, V100, DeviceSpec, get_device
 from .sparse import CSRMatrix, sddmm_reference, sparse_softmax_reference, spmm_reference
-from . import ops
+from . import ops, reliability
 from .ops import ExecutionContext, default_context
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ops",
+    "reliability",
     "ExecutionContext",
     "default_context",
     "spmm",

@@ -18,6 +18,7 @@ from .runner import (
     cusparse_spmm_time,
     dense_spmm_time,
     merge_spmm_time,
+    reliability_counters,
     run_sddmm_suite,
     run_spmm_suite,
     sputnik_sddmm_time,
@@ -28,6 +29,7 @@ __all__ = [
     "BenchRow",
     "run_spmm_suite",
     "run_sddmm_suite",
+    "reliability_counters",
     "sputnik_spmm_time",
     "sputnik_sddmm_time",
     "cusparse_spmm_time",

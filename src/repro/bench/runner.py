@@ -74,7 +74,13 @@ def aspt_sddmm_time(mask: CSRMatrix, k: int, device: DeviceSpec) -> ExecutionRes
 # ----------------------------------------------------------------------
 @dataclass
 class BenchRow:
-    """One (problem, kernel) measurement."""
+    """One (problem, kernel) measurement.
+
+    ``status`` is ``"ok"`` for a completed measurement and ``"failed"``
+    when the kernel raised — a SuiteSparse-scale sweep must survive one
+    pathological matrix instead of aborting, so failures become rows
+    (``runtime_s`` is NaN, ``error`` holds the classified exception).
+    """
 
     problem: str
     kernel: str
@@ -84,10 +90,43 @@ class BenchRow:
     nnz: int
     runtime_s: float
     flops: float
+    status: str = "ok"
+    error: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status != "ok"
 
     @property
     def throughput_flops(self) -> float:
-        return self.flops / self.runtime_s if self.runtime_s > 0 else 0.0
+        if self.failed or self.runtime_s <= 0:
+            return 0.0
+        return self.flops / self.runtime_s
+
+
+def _measure(
+    timer, label: str, name: str, matrix: CSRMatrix, dim: int, device
+) -> BenchRow:
+    """Run one timer, converting a raised kernel failure into a failed row."""
+    base = dict(
+        problem=label,
+        kernel=name,
+        m=matrix.n_rows,
+        k=matrix.n_cols,
+        n=dim,
+        nnz=matrix.nnz,
+        flops=2.0 * matrix.nnz * dim,
+    )
+    try:
+        result = timer(matrix, dim, device)
+    except Exception as exc:  # noqa: BLE001 - the sweep must keep going
+        return BenchRow(
+            runtime_s=float("nan"),
+            status="failed",
+            error=f"{type(exc).__name__}: {exc}",
+            **base,
+        )
+    return BenchRow(runtime_s=result.runtime_s, **base)
 
 
 def run_spmm_suite(
@@ -95,24 +134,16 @@ def run_spmm_suite(
     kernels: dict[str, SpmmTimer],
     device: DeviceSpec,
 ) -> list[BenchRow]:
-    """Time every kernel on every (label, matrix, n) problem."""
-    rows = []
-    for label, a, n in problems:
-        for name, timer in kernels.items():
-            result = timer(a, n, device)
-            rows.append(
-                BenchRow(
-                    problem=label,
-                    kernel=name,
-                    m=a.n_rows,
-                    k=a.n_cols,
-                    n=n,
-                    nnz=a.nnz,
-                    runtime_s=result.runtime_s,
-                    flops=2.0 * a.nnz * n,
-                )
-            )
-    return rows
+    """Time every kernel on every (label, matrix, n) problem.
+
+    A kernel failure on one matrix yields a ``status="failed"`` row and the
+    sweep continues.
+    """
+    return [
+        _measure(timer, label, name, a, n, device)
+        for label, a, n in problems
+        for name, timer in kernels.items()
+    ]
 
 
 def run_sddmm_suite(
@@ -120,21 +151,32 @@ def run_sddmm_suite(
     kernels: dict[str, SddmmTimer],
     device: DeviceSpec,
 ) -> list[BenchRow]:
-    """Time every SDDMM kernel on every (label, mask, inner-dim) problem."""
-    rows = []
-    for label, mask, k in problems:
-        for name, timer in kernels.items():
-            result = timer(mask, k, device)
-            rows.append(
-                BenchRow(
-                    problem=label,
-                    kernel=name,
-                    m=mask.n_rows,
-                    k=mask.n_cols,
-                    n=k,
-                    nnz=mask.nnz,
-                    runtime_s=result.runtime_s,
-                    flops=2.0 * mask.nnz * k,
-                )
-            )
-    return rows
+    """Time every SDDMM kernel on every (label, mask, inner-dim) problem.
+
+    Per-matrix failures become ``status="failed"`` rows, like
+    :func:`run_spmm_suite`.
+    """
+    return [
+        _measure(timer, label, name, mask, k, device)
+        for label, mask, k in problems
+        for name, timer in kernels.items()
+    ]
+
+
+def reliability_counters(
+    device: DeviceSpec | None = None,
+    context=None,
+) -> dict[str, dict[str, int | float]]:
+    """Per-(op, backend) telemetry — including retries, fallbacks, degraded
+    completions, and injected faults — for the context a sweep ran in.
+
+    Benchmarks report this next to their timing tables so a sweep that
+    survived via fallback is distinguishable from a clean one.
+    """
+    if context is None:
+        context = (
+            ops.default_context(device)
+            if device is not None
+            else ops.default_context()
+        )
+    return context.telemetry_snapshot()

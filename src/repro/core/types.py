@@ -14,10 +14,16 @@ class KernelResult:
 
     ``output`` is a dense ``np.ndarray`` for SpMM-like kernels and a
     :class:`~repro.sparse.CSRMatrix` for SDDMM-like kernels.
+
+    ``reliability`` is populated by policy-dispatched calls (a
+    :class:`~repro.reliability.policy.DispatchReport` recording retries,
+    fallbacks, and degraded-mode re-runs); plain single-backend calls
+    leave it ``None``.
     """
 
     output: Any
     execution: ExecutionResult
+    reliability: Any = None
 
     @property
     def runtime_s(self) -> float:

@@ -19,6 +19,7 @@ kernels come from their counted work, never from per-experiment constants.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -149,8 +150,37 @@ class ExecutionResult:
         )
 
 
+#: Observers called at the top of every :func:`execute` with
+#: ``(launch, device)``. The reliability layer's fault injector registers
+#: here to fail or perturb launches *inside* the simulated executor (its
+#: ``site="executor"`` faults) — an observer may raise
+#: :class:`~repro.reliability.errors.KernelLaunchError` to abort the launch
+#: exactly where a real ``cudaLaunchKernel`` would fail.
+_LAUNCH_OBSERVERS: list[Callable[[KernelLaunch, DeviceSpec], None]] = []
+
+
+def register_launch_observer(
+    observer: Callable[[KernelLaunch, DeviceSpec], None],
+) -> None:
+    """Install a callback invoked before every simulated launch."""
+    if observer not in _LAUNCH_OBSERVERS:
+        _LAUNCH_OBSERVERS.append(observer)
+
+
+def unregister_launch_observer(
+    observer: Callable[[KernelLaunch, DeviceSpec], None],
+) -> None:
+    """Remove a previously installed launch observer (missing is a no-op)."""
+    try:
+        _LAUNCH_OBSERVERS.remove(observer)
+    except ValueError:
+        pass
+
+
 def execute(launch: KernelLaunch, device: DeviceSpec) -> ExecutionResult:
     """Simulate one kernel launch on ``device`` and return its result."""
+    for observer in tuple(_LAUNCH_OBSERVERS):
+        observer(launch, device)
     occ = compute_occupancy(launch.resources, device)
     costs = launch.costs.broadcast(launch.n_blocks)
 

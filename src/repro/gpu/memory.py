@@ -147,6 +147,30 @@ def latency_hiding_factor(resident_warps: float, device: DeviceSpec) -> float:
     return float(np.sqrt(x * (2.0 - x)))
 
 
+def flip_bit(array: np.ndarray, element_index: int, bit: int) -> int:
+    """Flip one bit of one element of an integer buffer, in place.
+
+    Models an uncorrected memory error (ECC disabled or a double-bit upset)
+    in device-resident metadata — the fault class the reliability layer's
+    deep validation (checksums over CSR structure arrays) exists to catch.
+    Returns the element's original value so a repair path can restore it.
+    """
+    if array.dtype.kind not in "iu":
+        raise TypeError(f"flip_bit targets integer buffers, got {array.dtype}")
+    width = array.dtype.itemsize * 8
+    if not 0 <= bit < width:
+        raise ValueError(f"bit {bit} out of range for {array.dtype}")
+    if not 0 <= element_index < array.size:
+        raise ValueError(
+            f"element {element_index} out of range for size {array.size}"
+        )
+    flat = array.reshape(-1)
+    original = int(flat[element_index])
+    unsigned = flat.view(f"u{array.dtype.itemsize}")
+    unsigned[element_index] ^= np.asarray(1, dtype=unsigned.dtype) << bit
+    return original
+
+
 def row_major_tile_bytes(
     rows: int, cols: int, row_stride: int, element_bytes: int
 ) -> int:

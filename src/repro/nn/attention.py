@@ -71,19 +71,38 @@ def sparse_attention(
     mask: CSRMatrix,
     device: DeviceSpec,
     profile: Profile | None = None,
+    *,
+    policy=None,
+    validate: bool = False,
+    reports: list | None = None,
 ) -> np.ndarray:
     """Single-head sparse attention: SDDMM -> sparse softmax -> SpMM.
 
     The mask's nonzeros define which query/key similarities are computed
     (``Q K^T ∘ I[Y]``, Section IV-B); causality lives in the mask itself.
+
+    ``policy`` (a backend chain or FallbackPolicy) and ``validate`` route
+    all three kernels through the reliability layer; when ``reports`` is a
+    list, each kernel's DispatchReport is appended so callers can inspect
+    retries/fallbacks/degraded-mode completions per stage.
     """
     q = np.asarray(q, np.float32)
     k = np.asarray(k, np.float32)
     v = np.asarray(v, np.float32)
     dk = q.shape[1]
-    scores = ops.sddmm(q, k, mask, device)
-    probs = ops.sparse_softmax(scores.output, device, scale=1.0 / np.sqrt(dk))
-    out = ops.spmm(probs.output, v, device)
+    backend = policy if policy is not None else "sputnik"
+    scores = ops.sddmm(q, k, mask, device, backend=backend, validate=validate)
+    probs = ops.sparse_softmax(
+        scores.output, device, scale=1.0 / np.sqrt(dk),
+        backend=backend, validate=validate,
+    )
+    out = ops.spmm(probs.output, v, device, backend=backend, validate=validate)
+    if reports is not None:
+        reports.extend(
+            r.reliability
+            for r in (scores, probs, out)
+            if r.reliability is not None
+        )
     if profile is not None:
         profile.add(scores.execution)
         profile.add(probs.execution)

@@ -61,10 +61,38 @@ class SparseLinear:
     """
 
     def __init__(
-        self, weight: CSRMatrix, config: SpmmConfig | None = None
+        self,
+        weight: CSRMatrix,
+        config: SpmmConfig | None = None,
+        policy=None,
+        validate: bool = False,
     ) -> None:
         self.config = config
+        #: Backend string, chain, or FallbackPolicy for every kernel the
+        #: layer launches; ``None`` means the plain sputnik fast path.
+        self.policy = policy
+        #: Run the numerical guardrails on every output (fp16 overflow
+        #: triggers a degraded fp32 re-run, flagged on ``self.degraded``).
+        self.validate = validate
+        #: DispatchReport of the most recent policy-dispatched kernel.
+        self.last_report = None
         self.weight = weight  # property: builds the per-weight caches
+
+    @property
+    def degraded(self) -> bool:
+        """True when the last kernel completed in degraded mode (fp32
+        re-run after an fp16 overflow) or on a fallback backend."""
+        report = self.last_report
+        return bool(
+            report is not None and (report.degraded or report.fallbacks)
+        )
+
+    def _backend(self):
+        return self.policy if self.policy is not None else "sputnik"
+
+    def _record(self, result) -> None:
+        if result.reliability is not None:
+            self.last_report = result.reliability
 
     @property
     def weight(self) -> CSRMatrix:
@@ -93,7 +121,11 @@ class SparseLinear:
         self, x: np.ndarray, device: DeviceSpec, profile: Profile | None = None
     ) -> np.ndarray:
         """``Y = W X``; ``x`` is ``(in_features, batch)``."""
-        result = ops.spmm(self.weight, x, device, self.config)
+        result = ops.spmm(
+            self.weight, x, device, self.config,
+            backend=self._backend(), validate=self.validate,
+        )
+        self._record(result)
         if profile is not None:
             profile.add(result.execution)
         return result.output
@@ -112,11 +144,19 @@ class SparseLinear:
         """
         grad_out = np.asarray(grad_out, dtype=np.float32)
         x32 = np.asarray(x, dtype=np.float32)
-        grad_w = ops.sddmm(grad_out, x32, self.weight, device)
+        grad_w = ops.sddmm(
+            grad_out, x32, self.weight, device,
+            backend=self._backend(), validate=self.validate,
+        )
+        self._record(grad_w)
         if profile is not None:
             profile.add(grad_w.execution)
 
-        grad_x = ops.spmm(self._weight_transpose(), grad_out, device)
+        grad_x = ops.spmm(
+            self._weight_transpose(), grad_out, device,
+            backend=self._backend(), validate=self.validate,
+        )
+        self._record(grad_x)
         if profile is not None:
             profile.add(grad_x.execution)
         return grad_w.output, grad_x.output

@@ -42,7 +42,13 @@ from .operators import (
     spmm_cost,
 )
 from .plans import PlanCache, matrix_fingerprint
-from .registry import KernelImpl, available, get_impl, register
+from .registry import (
+    KernelImpl,
+    available,
+    exact_backends,
+    get_impl,
+    register,
+)
 
 __all__ = [
     "spmm",
@@ -67,4 +73,5 @@ __all__ = [
     "register",
     "get_impl",
     "available",
+    "exact_backends",
 ]

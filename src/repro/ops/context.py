@@ -46,6 +46,27 @@ class OpStats:
     cache_hits: int = 0
     cache_misses: int = 0
     simulated_seconds: float = 0.0
+    # Reliability counters (populated by policy-dispatched calls).
+    retries: int = 0
+    fallbacks: int = 0
+    degraded: int = 0
+    failures: int = 0
+    faults_injected: int = 0
+    backoff_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, int | float]:
+        return {
+            "launches": self.launches,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "simulated_seconds": self.simulated_seconds,
+            "retries": self.retries,
+            "fallbacks": self.fallbacks,
+            "degraded": self.degraded,
+            "failures": self.failures,
+            "faults_injected": self.faults_injected,
+            "backoff_seconds": self.backoff_seconds,
+        }
 
 
 @dataclass
@@ -71,6 +92,44 @@ class Telemetry:
         else:
             entry.cache_misses += 1
 
+    # -- reliability counters (fed by repro.reliability.policy) ----------
+    def record_retry(self, op: str, backend: str) -> None:
+        self._get(op, backend).retries += 1
+
+    def record_fallback(self, op: str, backend: str) -> None:
+        """A backend was abandoned for the next one in its chain."""
+        self._get(op, backend).fallbacks += 1
+
+    def record_degraded(self, op: str, backend: str) -> None:
+        """A degraded-mode completion (fp32 re-run after fp16 overflow)."""
+        self._get(op, backend).degraded += 1
+
+    def record_failure(self, op: str, backend: str) -> None:
+        """A terminal failure (taxonomy error propagated to the caller)."""
+        self._get(op, backend).failures += 1
+
+    def record_fault(self, op: str, backend: str) -> None:
+        """One injected fault landed on this (op, backend)."""
+        self._get(op, backend).faults_injected += 1
+
+    def record_backoff(self, op: str, backend: str, seconds: float) -> None:
+        self._get(op, backend).backoff_seconds += seconds
+
+    def reset(self) -> None:
+        """Zero every counter (plans/caches are unaffected)."""
+        self.stats.clear()
+
+    def snapshot(self) -> dict[str, dict[str, int | float]]:
+        """Plain-dict copy of every counter, keyed ``"op/backend"``.
+
+        The public read API: benchmarks and tests consume this instead of
+        reaching into the live ``stats`` mapping.
+        """
+        return {
+            f"{op}/{backend}": stats.as_dict()
+            for (op, backend), stats in sorted(self.stats.items())
+        }
+
     @property
     def launches(self) -> int:
         return sum(s.launches for s in self.stats.values())
@@ -87,15 +146,43 @@ class Telemetry:
     def simulated_seconds(self) -> float:
         return sum(s.simulated_seconds for s in self.stats.values())
 
+    @property
+    def retries(self) -> int:
+        return sum(s.retries for s in self.stats.values())
+
+    @property
+    def fallbacks(self) -> int:
+        return sum(s.fallbacks for s in self.stats.values())
+
+    @property
+    def degraded(self) -> int:
+        return sum(s.degraded for s in self.stats.values())
+
+    @property
+    def failures(self) -> int:
+        return sum(s.failures for s in self.stats.values())
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(s.faults_injected for s in self.stats.values())
+
     def summary(self) -> str:
         """One line per (op, backend), for logs and examples."""
         lines = []
         for (op, backend), s in sorted(self.stats.items()):
-            lines.append(
+            line = (
                 f"{op}/{backend}: launches={s.launches} "
                 f"hits={s.cache_hits} misses={s.cache_misses} "
                 f"simulated={s.simulated_seconds * 1e6:.1f}us"
             )
+            if s.retries or s.fallbacks or s.degraded or s.failures:
+                line += (
+                    f" retries={s.retries} fallbacks={s.fallbacks} "
+                    f"degraded={s.degraded} failures={s.failures}"
+                )
+            if s.faults_injected:
+                line += f" faults={s.faults_injected}"
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -113,6 +200,14 @@ class ExecutionContext:
         self.device = device
         self.plans = PlanCache(max_plans)
         self.telemetry = Telemetry()
+        #: A :class:`~repro.reliability.injector.FaultInjector`, or ``None``.
+        #: When set, every dispatched op runs through the policy loop even
+        #: for single-backend calls, so injected faults are retried.
+        self.injector = None
+        #: The :class:`~repro.reliability.policy.DispatchReport` of the most
+        #: recent policy-dispatched call (cost-only calls have no result
+        #: object to carry it).
+        self.last_dispatch_report = None
 
     def __repr__(self) -> str:
         return (
@@ -123,6 +218,17 @@ class ExecutionContext:
     def clear(self) -> None:
         """Drop all cached plans (telemetry is kept)."""
         self.plans.clear()
+
+    # ------------------------------------------------------------------
+    # Telemetry API (benchmarks/tests use this, not the raw counters)
+    # ------------------------------------------------------------------
+    def telemetry_snapshot(self) -> dict[str, dict[str, int | float]]:
+        """Plain-dict copy of every per-(op, backend) counter."""
+        return self.telemetry.snapshot()
+
+    def reset_telemetry(self) -> None:
+        """Zero all telemetry counters (plan cache is kept)."""
+        self.telemetry.reset()
 
     # ------------------------------------------------------------------
     # Config selection (cached per topology)

@@ -7,14 +7,25 @@ Each wrapper resolves (context, backend, config) and dispatches through the
   manage caching yourself, or just a :class:`DeviceSpec` to share the
   module-level :func:`~repro.ops.context.default_context` for that device
   (passing neither means the default V100 context);
-- ``backend``: registry string — ``"sputnik"`` (default), ``"cusparse"``,
-  ``"merge"``, ``"aspt"``, ``"dense"``, ...;
+- ``backend``: a registry string — ``"sputnik"`` (default), ``"cusparse"``,
+  ``"merge"``, ``"aspt"``, ``"dense"`` — **or** a fallback chain (a list of
+  backend strings, or a :class:`~repro.reliability.policy.FallbackPolicy`)
+  dispatched with retry/backoff and the reliability error taxonomy;
 - ``config``: an explicit kernel config, or ``None`` to resolve one via
   :mod:`repro.core.selection` (``selector="oracle"`` costs every candidate,
-  Section VII-B) and cache the choice per topology.
+  Section VII-B) and cache the choice per topology;
+- ``validate``: run the numerical guardrails on the output (NaN/Inf scan;
+  fp16 overflow triggers an automatic fp32 degraded-mode re-run).
 
 ``*_cost`` variants return the simulated :class:`ExecutionResult` only —
 the benchmark path, also plan-cached.
+
+A plain string backend with no guardrails and no fault injector takes the
+zero-overhead legacy path. Chains, ``validate=True``, or an attached
+:class:`~repro.reliability.injector.FaultInjector` route the call through
+:func:`repro.reliability.policy.run_with_policy`; the resulting
+:class:`~repro.reliability.policy.DispatchReport` rides on
+``result.reliability`` (and ``context.last_dispatch_report``).
 """
 
 from __future__ import annotations
@@ -25,10 +36,11 @@ from ..core.config import SddmmConfig, SpmmConfig
 from ..core.types import KernelResult
 from ..gpu.device import DeviceSpec
 from ..gpu.executor import ExecutionResult
+from ..reliability.policy import as_policy, run_with_policy
 from ..sparse.csc import CSCMatrix
 from ..sparse.csr import CSRMatrix
 from .context import ExecutionContext, default_context
-from .registry import get_impl
+from .registry import available, exact_backends, get_impl
 
 
 def resolve_context(
@@ -45,6 +57,39 @@ def resolve_context(
     return default_context(device) if device is not None else default_context()
 
 
+def _fast_path(ctx: ExecutionContext, backend, validate: bool) -> bool:
+    """Plain string backend, no guardrails, no injector: legacy dispatch."""
+    return isinstance(backend, str) and not validate and ctx.injector is None
+
+
+def _policy_dispatch(
+    ctx: ExecutionContext,
+    op: str,
+    backend,
+    validate: bool,
+    call,
+    *,
+    operands=(),
+    fp32_call=None,
+    cost: bool = False,
+):
+    """Route one op call through the reliability policy loop."""
+    policy = as_policy(backend, validate=True if validate else None)
+    result = run_with_policy(
+        ctx,
+        op,
+        policy,
+        call,
+        operands=operands,
+        fp32_attempt=fp32_call,
+        registered=set(available(op)),
+        exact_backends=exact_backends(op),
+    )
+    used = ctx.last_dispatch_report.backend_used
+    ctx.telemetry.record_launch(op, used, result if cost else result.execution)
+    return result
+
+
 def spmm(
     a: CSRMatrix,
     b: np.ndarray,
@@ -52,15 +97,37 @@ def spmm(
     config: SpmmConfig | None = None,
     *,
     context: ExecutionContext | None = None,
-    backend: str = "sputnik",
+    backend="sputnik",
     selector: str = "heuristic",
+    validate: bool = False,
 ) -> KernelResult:
     """``C = A @ B`` with sparse ``A``: exact numerics + simulated cost."""
     ctx = resolve_context(context, device)
-    impl = get_impl("spmm", backend)
-    result = impl.run(ctx, a, b, config, selector)
-    ctx.telemetry.record_launch("spmm", backend, result.execution)
-    return result
+    if _fast_path(ctx, backend, validate):
+        impl = get_impl("spmm", backend)
+        result = impl.run(ctx, a, b, config, selector)
+        ctx.telemetry.record_launch("spmm", backend, result.execution)
+        return result
+
+    primary = as_policy(backend).backends[0]
+
+    def call(be: str) -> KernelResult:
+        # An explicit Sputnik config does not transfer to other backends.
+        cfg = config if be in (primary, "sputnik") else None
+        return get_impl("spmm", be).run(ctx, a, b, cfg, selector)
+
+    fp32_call = None
+    if a.values.dtype == np.float16:
+
+        def fp32_call(be: str) -> KernelResult:
+            a32 = a.astype(np.float32)
+            b32 = np.asarray(b, dtype=np.float32)
+            return get_impl("spmm", be).run(ctx, a32, b32, None, selector)
+
+    return _policy_dispatch(
+        ctx, "spmm", backend, validate, call,
+        operands=(a,), fp32_call=fp32_call,
+    )
 
 
 def spmm_cost(
@@ -70,16 +137,29 @@ def spmm_cost(
     config: SpmmConfig | None = None,
     *,
     context: ExecutionContext | None = None,
-    backend: str = "sputnik",
+    backend="sputnik",
     selector: str = "heuristic",
+    validate: bool = False,
     **kwargs,
 ) -> ExecutionResult:
     """Simulated SpMM cost only (``n`` = dense batch columns)."""
     ctx = resolve_context(context, device)
-    impl = get_impl("spmm", backend)
-    result = impl.cost(ctx, a, n, config, selector, **kwargs)
-    ctx.telemetry.record_launch("spmm", backend, result)
-    return result
+    if _fast_path(ctx, backend, validate):
+        impl = get_impl("spmm", backend)
+        result = impl.cost(ctx, a, n, config, selector, **kwargs)
+        ctx.telemetry.record_launch("spmm", backend, result)
+        return result
+
+    primary = as_policy(backend).backends[0]
+
+    def call(be: str) -> ExecutionResult:
+        cfg = config if be in (primary, "sputnik") else None
+        extra = kwargs if be == primary else {}
+        return get_impl("spmm", be).cost(ctx, a, n, cfg, selector, **extra)
+
+    return _policy_dispatch(
+        ctx, "spmm", backend, validate, call, operands=(a,), cost=True
+    )
 
 
 def sddmm(
@@ -90,14 +170,35 @@ def sddmm(
     config: SddmmConfig | None = None,
     *,
     context: ExecutionContext | None = None,
-    backend: str = "sputnik",
+    backend="sputnik",
+    validate: bool = False,
 ) -> KernelResult:
     """``(lhs @ rhs^T) ∘ I[mask]``: exact numerics + simulated cost."""
     ctx = resolve_context(context, device)
-    impl = get_impl("sddmm", backend)
-    result = impl.run(ctx, lhs, rhs, mask, config)
-    ctx.telemetry.record_launch("sddmm", backend, result.execution)
-    return result
+    if _fast_path(ctx, backend, validate):
+        impl = get_impl("sddmm", backend)
+        result = impl.run(ctx, lhs, rhs, mask, config)
+        ctx.telemetry.record_launch("sddmm", backend, result.execution)
+        return result
+
+    primary = as_policy(backend).backends[0]
+
+    def call(be: str) -> KernelResult:
+        cfg = config if be in (primary, "sputnik") else None
+        return get_impl("sddmm", be).run(ctx, lhs, rhs, mask, cfg)
+
+    fp32_call = None
+    if mask.values.dtype == np.float16:
+
+        def fp32_call(be: str) -> KernelResult:
+            return get_impl("sddmm", be).run(
+                ctx, lhs, rhs, mask.astype(np.float32), None
+            )
+
+    return _policy_dispatch(
+        ctx, "sddmm", backend, validate, call,
+        operands=(mask,), fp32_call=fp32_call,
+    )
 
 
 def sddmm_cost(
@@ -107,14 +208,26 @@ def sddmm_cost(
     config: SddmmConfig | None = None,
     *,
     context: ExecutionContext | None = None,
-    backend: str = "sputnik",
+    backend="sputnik",
+    validate: bool = False,
 ) -> ExecutionResult:
     """Simulated SDDMM cost only (``k`` = dot-product inner dimension)."""
     ctx = resolve_context(context, device)
-    impl = get_impl("sddmm", backend)
-    result = impl.cost(ctx, mask, k, config)
-    ctx.telemetry.record_launch("sddmm", backend, result)
-    return result
+    if _fast_path(ctx, backend, validate):
+        impl = get_impl("sddmm", backend)
+        result = impl.cost(ctx, mask, k, config)
+        ctx.telemetry.record_launch("sddmm", backend, result)
+        return result
+
+    primary = as_policy(backend).backends[0]
+
+    def call(be: str) -> ExecutionResult:
+        cfg = config if be in (primary, "sputnik") else None
+        return get_impl("sddmm", be).cost(ctx, mask, k, cfg)
+
+    return _policy_dispatch(
+        ctx, "sddmm", backend, validate, call, operands=(mask,), cost=True
+    )
 
 
 def sparse_softmax(
@@ -123,14 +236,34 @@ def sparse_softmax(
     scale: float = 1.0,
     *,
     context: ExecutionContext | None = None,
-    backend: str = "sputnik",
+    backend="sputnik",
+    validate: bool = False,
 ) -> KernelResult:
     """Row-wise softmax over CSR nonzeros (Section VII-C)."""
     ctx = resolve_context(context, device)
-    impl = get_impl("sparse_softmax", backend)
-    result = impl.run(ctx, a, scale)
-    ctx.telemetry.record_launch("sparse_softmax", backend, result.execution)
-    return result
+    if _fast_path(ctx, backend, validate):
+        impl = get_impl("sparse_softmax", backend)
+        result = impl.run(ctx, a, scale)
+        ctx.telemetry.record_launch(
+            "sparse_softmax", backend, result.execution
+        )
+        return result
+
+    def call(be: str) -> KernelResult:
+        return get_impl("sparse_softmax", be).run(ctx, a, scale)
+
+    fp32_call = None
+    if a.values.dtype == np.float16:
+
+        def fp32_call(be: str) -> KernelResult:
+            return get_impl("sparse_softmax", be).run(
+                ctx, a.astype(np.float32), scale
+            )
+
+    return _policy_dispatch(
+        ctx, "sparse_softmax", backend, validate, call,
+        operands=(a,), fp32_call=fp32_call,
+    )
 
 
 def sparse_softmax_cost(
@@ -138,14 +271,24 @@ def sparse_softmax_cost(
     device: DeviceSpec | None = None,
     *,
     context: ExecutionContext | None = None,
-    backend: str = "sputnik",
+    backend="sputnik",
+    validate: bool = False,
 ) -> ExecutionResult:
     """Simulated sparse-softmax cost only."""
     ctx = resolve_context(context, device)
-    impl = get_impl("sparse_softmax", backend)
-    result = impl.cost(ctx, a)
-    ctx.telemetry.record_launch("sparse_softmax", backend, result)
-    return result
+    if _fast_path(ctx, backend, validate):
+        impl = get_impl("sparse_softmax", backend)
+        result = impl.cost(ctx, a)
+        ctx.telemetry.record_launch("sparse_softmax", backend, result)
+        return result
+
+    def call(be: str) -> ExecutionResult:
+        return get_impl("sparse_softmax", be).cost(ctx, a)
+
+    return _policy_dispatch(
+        ctx, "sparse_softmax", backend, validate, call,
+        operands=(a,), cost=True,
+    )
 
 
 def csc_spmm(
@@ -155,14 +298,23 @@ def csc_spmm(
     config: SpmmConfig | None = None,
     *,
     context: ExecutionContext | None = None,
-    backend: str = "sputnik",
+    backend="sputnik",
+    validate: bool = False,
 ) -> KernelResult:
     """``C = B @ A`` with CSC ``A`` and column-major ``B``/``C``."""
     ctx = resolve_context(context, device)
-    impl = get_impl("csc_spmm", backend)
-    result = impl.run(ctx, b, a, config)
-    ctx.telemetry.record_launch("csc_spmm", backend, result.execution)
-    return result
+    if _fast_path(ctx, backend, validate):
+        impl = get_impl("csc_spmm", backend)
+        result = impl.run(ctx, b, a, config)
+        ctx.telemetry.record_launch("csc_spmm", backend, result.execution)
+        return result
+
+    def call(be: str) -> KernelResult:
+        return get_impl("csc_spmm", be).run(ctx, b, a, config)
+
+    return _policy_dispatch(
+        ctx, "csc_spmm", backend, validate, call, operands=(a,)
+    )
 
 
 def csc_spmm_cost(
@@ -172,14 +324,23 @@ def csc_spmm_cost(
     config: SpmmConfig | None = None,
     *,
     context: ExecutionContext | None = None,
-    backend: str = "sputnik",
+    backend="sputnik",
+    validate: bool = False,
 ) -> ExecutionResult:
     """Simulated CSC-SpMM cost only (``n`` = rows of the dense left operand)."""
     ctx = resolve_context(context, device)
-    impl = get_impl("csc_spmm", backend)
-    result = impl.cost(ctx, a, n, config)
-    ctx.telemetry.record_launch("csc_spmm", backend, result)
-    return result
+    if _fast_path(ctx, backend, validate):
+        impl = get_impl("csc_spmm", backend)
+        result = impl.cost(ctx, a, n, config)
+        ctx.telemetry.record_launch("csc_spmm", backend, result)
+        return result
+
+    def call(be: str) -> ExecutionResult:
+        return get_impl("csc_spmm", be).cost(ctx, a, n, config)
+
+    return _policy_dispatch(
+        ctx, "csc_spmm", backend, validate, call, operands=(a,), cost=True
+    )
 
 
 def matmul(
@@ -188,14 +349,21 @@ def matmul(
     device: DeviceSpec | None = None,
     *,
     context: ExecutionContext | None = None,
-    backend: str = "cublas",
+    backend="cublas",
+    validate: bool = False,
 ) -> KernelResult:
     """Dense ``A @ B`` (the models' dense projections and baselines)."""
     ctx = resolve_context(context, device)
-    impl = get_impl("matmul", backend)
-    result = impl.run(ctx, a, b)
-    ctx.telemetry.record_launch("matmul", backend, result.execution)
-    return result
+    if _fast_path(ctx, backend, validate):
+        impl = get_impl("matmul", backend)
+        result = impl.run(ctx, a, b)
+        ctx.telemetry.record_launch("matmul", backend, result.execution)
+        return result
+
+    def call(be: str) -> KernelResult:
+        return get_impl("matmul", be).run(ctx, a, b)
+
+    return _policy_dispatch(ctx, "matmul", backend, validate, call)
 
 
 def matmul_cost(
@@ -206,11 +374,18 @@ def matmul_cost(
     element_bytes: int = 4,
     *,
     context: ExecutionContext | None = None,
-    backend: str = "cublas",
+    backend="cublas",
+    validate: bool = False,
 ) -> ExecutionResult:
     """Simulated dense-GEMM cost only."""
     ctx = resolve_context(context, device)
-    impl = get_impl("matmul", backend)
-    result = impl.cost(ctx, m, n, k, element_bytes)
-    ctx.telemetry.record_launch("matmul", backend, result)
-    return result
+    if _fast_path(ctx, backend, validate):
+        impl = get_impl("matmul", backend)
+        result = impl.cost(ctx, m, n, k, element_bytes)
+        ctx.telemetry.record_launch("matmul", backend, result)
+        return result
+
+    def call(be: str) -> ExecutionResult:
+        return get_impl("matmul", be).cost(ctx, m, n, k, element_bytes)
+
+    return _policy_dispatch(ctx, "matmul", backend, validate, call, cost=True)

@@ -21,6 +21,20 @@ from typing import Any, Callable, Hashable
 
 import numpy as np
 
+from ..reliability.errors import PlanCorruptionError
+
+
+class _PoisonedEntry:
+    """Sentinel standing in for a plan whose cached bytes were corrupted."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<poisoned plan>"
+
+
+_POISONED = _PoisonedEntry()
+
 #: Default maximum number of cached plans per context. Plans hold the
 #: swizzled row order and ROMA extents (O(rows) each), so a few hundred is
 #: cheap; LRU eviction bounds the worst case for benchmark sweeps.
@@ -77,12 +91,22 @@ class PlanCache:
         return key in self._entries
 
     def get(self, key: Hashable) -> Any | None:
-        """Look up ``key``, refreshing its recency; ``None`` on miss."""
+        """Look up ``key``, refreshing its recency; ``None`` on miss.
+
+        Raises :class:`PlanCorruptionError` if the entry was poisoned (the
+        fault injector's model of corrupted cached plan state); the error
+        carries the key so recovery can :meth:`evict` and re-plan.
+        """
         try:
             self._entries.move_to_end(key)
         except KeyError:
             return None
-        return self._entries[key]
+        value = self._entries[key]
+        if value is _POISONED:
+            raise PlanCorruptionError(
+                f"cached plan {key!r} failed its integrity check", key=key
+            )
+        return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert ``key``, evicting the least-recently-used entry if full."""
@@ -104,3 +128,17 @@ class PlanCache:
 
     def clear(self) -> None:
         self._entries.clear()
+
+    def evict(self, key: Hashable) -> None:
+        """Drop one entry (recovery path for poisoned plans)."""
+        self._entries.pop(key, None)
+
+    def keys(self) -> list[Hashable]:
+        """Snapshot of the cached keys (LRU order, oldest first)."""
+        return list(self._entries)
+
+    def poison(self, key: Hashable) -> None:
+        """Replace a cached entry with a corruption sentinel (fault
+        injection only); the next :meth:`get` raises."""
+        if key in self._entries:
+            self._entries[key] = _POISONED

@@ -48,6 +48,11 @@ class KernelImpl:
     description: str
     run: Callable[..., KernelResult] | None = None
     cost: Callable[..., ExecutionResult] | None = None
+    #: Whether this backend's numerics are bitwise-exact w.r.t. the op's
+    #: reference computation. Exact backends are interchangeable inside a
+    #: fallback chain with no numeric drift; inexact ones (e.g. the dense
+    #: densified-GEMM fallback) complete the op but may differ in low bits.
+    exact: bool = True
 
 
 _REGISTRY: dict[tuple[str, str], KernelImpl] = {}
@@ -83,6 +88,11 @@ def available(op: str | None = None) -> dict[str, str]:
     return {
         f"{o}/{b}": impl.description for (o, b), impl in sorted(_REGISTRY.items())
     }
+
+
+def exact_backends(op: str) -> set[str]:
+    """Backends of ``op`` whose numerics are mutually bitwise-exact."""
+    return {b for (o, b), impl in _REGISTRY.items() if o == op and impl.exact}
 
 
 def _reject_config(backend: str, config: Any) -> None:
@@ -300,7 +310,7 @@ register(KernelImpl(
 ))
 register(KernelImpl(
     "spmm", "dense", "cuBLAS dense GEMM on the densified operand",
-    run=_dense_spmm_run, cost=_dense_spmm_cost,
+    run=_dense_spmm_run, cost=_dense_spmm_cost, exact=False,
 ))
 register(KernelImpl(
     "sddmm", "sputnik", "The paper's strip-mined SDDMM (Section VI)",

@@ -1,0 +1,79 @@
+"""repro.reliability — fault injection and graceful degradation.
+
+Three pieces, wired through :mod:`repro.ops`:
+
+- :class:`FaultInjector` — deterministic, seeded fault source (transient
+  launch failures, CSR-metadata bit flips, plan-cache poisoning, latency
+  spikes) attached to an execution context, so every failure path in the
+  dispatch layer is testable;
+- :class:`FallbackPolicy` / :func:`run_with_policy` — per-op backend
+  fallback chains with retry and deterministic backoff accounted in
+  simulated time, driven by the structured error taxonomy in
+  :mod:`repro.reliability.errors`;
+- numerical guardrails (:mod:`repro.reliability.guardrails`) — NaN/Inf
+  scans, fp16-overflow detection with automatic fp32 degraded-mode
+  re-runs, and deep CSR validation via structure checksums.
+
+Quick start::
+
+    from repro import ops
+    from repro.reliability import FallbackPolicy, FaultInjector, FaultSpec
+
+    policy = FallbackPolicy(["sputnik", "cusparse", "dense"], max_attempts=3)
+    ctx = ops.ExecutionContext(V100)
+    chaos = FaultInjector([FaultSpec("launch", backend="sputnik", rate=0.1)],
+                          seed=1234)
+    with chaos.attached(ctx):
+        y = ops.spmm(a, b, context=ctx, backend=policy)
+    print(y.reliability)           # DispatchReport: retries, fallbacks, ...
+    print(ctx.telemetry_snapshot())
+"""
+
+from .errors import (
+    AttemptRecord,
+    FallbackExhaustedError,
+    InvalidTopologyError,
+    KernelLaunchError,
+    NumericalError,
+    PlanCorruptionError,
+    ReliabilityError,
+    classify,
+)
+from .guardrails import (
+    check_finite_result,
+    guarded,
+    scan_output,
+    validate_operands,
+)
+from .injector import FAULT_KINDS, FaultInjector, FaultSpec, InjectedFault
+from .policy import (
+    DEFAULT_CHAIN,
+    DispatchReport,
+    FallbackPolicy,
+    as_policy,
+    run_with_policy,
+)
+
+__all__ = [
+    "ReliabilityError",
+    "KernelLaunchError",
+    "InvalidTopologyError",
+    "NumericalError",
+    "PlanCorruptionError",
+    "FallbackExhaustedError",
+    "AttemptRecord",
+    "classify",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "FAULT_KINDS",
+    "FallbackPolicy",
+    "DispatchReport",
+    "DEFAULT_CHAIN",
+    "as_policy",
+    "run_with_policy",
+    "check_finite_result",
+    "scan_output",
+    "validate_operands",
+    "guarded",
+]

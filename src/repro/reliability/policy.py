@@ -1,0 +1,268 @@
+"""Fallback chains with retry/backoff for the operator dispatch layer.
+
+A :class:`FallbackPolicy` names an ordered backend chain (e.g.
+``["sputnik", "cusparse", "dense"]``) plus per-backend retry limits and a
+deterministic exponential backoff that is *accounted in simulated time*:
+every second spent backing off is added to the successful attempt's
+simulated :class:`~repro.gpu.executor.ExecutionResult`, so reliability has
+a visible, reproducible performance cost instead of a hidden wall-clock
+one.
+
+:func:`run_with_policy` is the single retry loop every operator wrapper
+funnels through. Classification drives control flow:
+
+- :class:`KernelLaunchError` — retry the same backend (with backoff), then
+  fall back;
+- :class:`PlanCorruptionError` — evict the poisoned cache entry, re-plan,
+  retry;
+- :class:`InvalidTopologyError` — retry only if the fault injector can
+  repair the operand (host re-upload model), otherwise terminal;
+- :class:`NumericalError` with ``kind="fp16_overflow"`` — degraded mode:
+  re-run the attempt in fp32 (when the operator provides an upcast path),
+  flagged on the returned report; any other kind is terminal;
+- an exhausted chain raises :class:`FallbackExhaustedError` carrying the
+  full attempt history.
+
+Everything is recorded twice: per-call in a :class:`DispatchReport`
+(attached to the returned :class:`~repro.core.types.KernelResult` and to
+``context.last_dispatch_report``) and cumulatively in the context's
+per-(op, backend) telemetry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field, replace
+
+from . import guardrails
+from .errors import (
+    AttemptRecord,
+    FallbackExhaustedError,
+    InvalidTopologyError,
+    KernelLaunchError,
+    NumericalError,
+    PlanCorruptionError,
+    classify,
+)
+
+#: Default chain for callers that just want "make it survive".
+DEFAULT_CHAIN = ("sputnik", "cusparse", "dense")
+
+
+@dataclass(frozen=True)
+class FallbackPolicy:
+    """Backend chain + retry/backoff/guardrail configuration."""
+
+    backends: tuple[str, ...]
+    #: Attempts per backend before falling to the next one.
+    max_attempts: int = 2
+    #: First retry waits this many simulated seconds; doubles per retry.
+    backoff_base_s: float = 1e-4
+    backoff_factor: float = 2.0
+    #: Run the numerical guardrails on every output.
+    validate: bool = False
+    #: On fp16 overflow, re-run in fp32 (degraded mode) instead of failing.
+    recompute_fp32: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "backends", tuple(self.backends))
+        if not self.backends:
+            raise ValueError("a fallback policy needs at least one backend")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+
+
+def as_policy(backend, validate: bool | None = None) -> FallbackPolicy:
+    """Coerce a backend string / chain / policy into a FallbackPolicy."""
+    if isinstance(backend, FallbackPolicy):
+        policy = backend
+    elif isinstance(backend, str):
+        policy = FallbackPolicy(backends=(backend,))
+    else:
+        policy = FallbackPolicy(backends=tuple(backend))
+    if validate is not None and validate != policy.validate:
+        policy = replace(policy, validate=validate)
+    return policy
+
+
+@dataclass
+class DispatchReport:
+    """What one policy-dispatched operator call actually did."""
+
+    op: str
+    requested: tuple[str, ...]
+    backend_used: str | None = None
+    attempts: list[AttemptRecord] = field(default_factory=list)
+    retries: int = 0
+    fallbacks: int = 0
+    degraded: bool = False
+    #: True when the producing backend is bitwise-exact w.r.t. the chain's
+    #: primary backend (same reference numerics) and no degraded re-run
+    #: happened — i.e. the output is identical to a fault-free run.
+    exact: bool = True
+    backoff_s: float = 0.0
+    injected_latency_s: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        """True when the call saw no faults at all."""
+        return (
+            not self.retries
+            and not self.fallbacks
+            and not self.degraded
+            and not self.injected_latency_s
+        )
+
+
+def _finish(ctx, result, report, extra_seconds):
+    """Attach the report and charge backoff/latency to simulated time."""
+    ctx.last_dispatch_report = report
+    if hasattr(result, "execution"):  # KernelResult
+        execution = result.execution
+        if extra_seconds > 0:
+            execution = execution.add_overhead(extra_seconds)
+        return dataclasses.replace(
+            result, execution=execution, reliability=report
+        )
+    if extra_seconds > 0:  # cost-only ExecutionResult
+        result = result.add_overhead(extra_seconds)
+    return result
+
+
+def run_with_policy(
+    ctx,
+    op: str,
+    policy: FallbackPolicy,
+    attempt,
+    *,
+    operands=(),
+    fp32_attempt=None,
+    registered=None,
+    exact_backends=None,
+):
+    """Run ``attempt(backend)`` under a fallback policy.
+
+    ``registered`` (when given) filters the chain to backends that exist
+    for ``op`` — a chain like ``["sputnik", "cusparse", "dense"]`` applies
+    unchanged to ops that only register a subset. ``exact_backends`` is the
+    set whose numerics are mutually bitwise-exact (for the report's
+    ``exact`` flag).
+    """
+    chain = [
+        b for b in policy.backends if registered is None or b in registered
+    ]
+    if not chain:
+        raise KeyError(
+            f"operator {op!r} has no registered backend in "
+            f"{policy.backends}; available: {sorted(registered or ())}"
+        )
+    report = DispatchReport(op=op, requested=policy.backends)
+    telemetry = ctx.telemetry
+    injector = ctx.injector
+    check_operands = policy.validate or injector is not None
+    extra_s = 0.0
+
+    def succeed(backend, attempt_no, result, outcome="ok", error=""):
+        report.backend_used = backend
+        report.attempts.append(
+            AttemptRecord(backend, attempt_no, outcome, error)
+        )
+        report.exact = (
+            not report.degraded
+            and (exact_backends is None or backend in exact_backends)
+            and (exact_backends is None or chain[0] in exact_backends)
+        )
+        return _finish(ctx, result, report, extra_s)
+
+    for backend_index, backend in enumerate(chain):
+        for attempt_no in range(1, policy.max_attempts + 1):
+            error: Exception | None = None
+            try:
+                if injector is not None:
+                    stall = injector.on_launch(ctx, op, backend, operands)
+                    if stall:
+                        extra_s += stall
+                        report.injected_latency_s += stall
+                if check_operands:
+                    guardrails.validate_operands(operands)
+                with guardrails.guarded(active=policy.validate):
+                    result = attempt(backend)
+                if policy.validate and hasattr(result, "execution"):
+                    guardrails.check_finite_result(result, op, backend)
+            except KernelLaunchError as exc:
+                error = exc
+            except PlanCorruptionError as exc:
+                if exc.key is not None:
+                    ctx.plans.evict(exc.key)
+                error = exc
+            except InvalidTopologyError as exc:
+                repaired = (
+                    injector.repair(operands) if injector is not None else False
+                )
+                if not repaired:
+                    telemetry.record_failure(op, backend)
+                    report.attempts.append(
+                        AttemptRecord(
+                            backend, attempt_no, "failed", classify(exc)
+                        )
+                    )
+                    ctx.last_dispatch_report = report
+                    raise
+                error = exc
+            except NumericalError as exc:
+                if (
+                    exc.kind == "fp16_overflow"
+                    and policy.recompute_fp32
+                    and fp32_attempt is not None
+                ):
+                    with guardrails.guarded(active=True):
+                        result = fp32_attempt(backend)
+                    guardrails.check_finite_result(result, op, backend)
+                    report.degraded = True
+                    telemetry.record_degraded(op, backend)
+                    return succeed(
+                        backend, attempt_no, result, "degraded", classify(exc)
+                    )
+                telemetry.record_failure(op, backend)
+                report.attempts.append(
+                    AttemptRecord(backend, attempt_no, "failed", classify(exc))
+                )
+                ctx.last_dispatch_report = report
+                raise
+            else:
+                return succeed(backend, attempt_no, result)
+
+            # Retryable fault: back off, fall back, or give up.
+            if attempt_no < policy.max_attempts:
+                wait = policy.backoff_base_s * (
+                    policy.backoff_factor ** (attempt_no - 1)
+                )
+                extra_s += wait
+                report.backoff_s += wait
+                report.retries += 1
+                telemetry.record_retry(op, backend)
+                telemetry.record_backoff(op, backend, wait)
+                report.attempts.append(
+                    AttemptRecord(backend, attempt_no, "retry", classify(error))
+                )
+            elif backend_index < len(chain) - 1:
+                report.fallbacks += 1
+                telemetry.record_fallback(op, backend)
+                report.attempts.append(
+                    AttemptRecord(
+                        backend, attempt_no, "fallback", classify(error)
+                    )
+                )
+            else:
+                report.attempts.append(
+                    AttemptRecord(backend, attempt_no, "failed", classify(error))
+                )
+                telemetry.record_failure(op, backend)
+                ctx.last_dispatch_report = report
+                raise FallbackExhaustedError(
+                    op=op, attempts=report.attempts
+                ) from error
+
+    raise AssertionError("unreachable: the chain loop always returns/raises")

@@ -14,6 +14,7 @@ stored per-nonzero).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -24,6 +25,26 @@ INDEX_DTYPE_FOR_VALUES = {
     np.dtype(np.float32): np.dtype(np.int32),
     np.dtype(np.float16): np.dtype(np.int16),
 }
+
+
+def check_column_capacity(cols: int, value_dtype: np.dtype) -> np.dtype:
+    """Return the index dtype for ``value_dtype``, rejecting unaddressable
+    widths *before* any index array can silently wrap.
+
+    The mixed-precision kernels (Section V-D3) pair fp16 values with int16
+    column indices, so an fp16 matrix is limited to 32768 columns; wider
+    matrices must stay in fp32/int32.
+    """
+    idt = INDEX_DTYPE_FOR_VALUES[np.dtype(value_dtype)]
+    capacity = int(np.iinfo(idt).max) + 1
+    if cols > capacity:
+        raise ValueError(
+            f"{cols} columns exceed the {idt} column-index range (max "
+            f"{capacity}): the mixed-precision kernels (Section V-D3) store "
+            f"{np.dtype(value_dtype)} values with {idt} indices; use fp32 "
+            "values for matrices this wide"
+        )
+    return idt
 
 
 @dataclass
@@ -57,6 +78,11 @@ class CSRMatrix:
         if np.any(np.diff(self.row_offsets) < 0):
             raise ValueError("row_offsets must be non-decreasing")
         nnz = int(self.row_offsets[-1])
+        if nnz < 0:
+            raise ValueError(
+                f"row_offsets[-1] = {nnz} is negative: nnz must be a "
+                "non-negative count"
+            )
         if self.column_indices.shape != (nnz,) or self.values.shape != (nnz,):
             raise ValueError("column_indices/values length must equal nnz")
         vdt = self.values.dtype
@@ -68,15 +94,69 @@ class CSRMatrix:
                 f"{vdt} values require {expected_idx} indices, "
                 f"got {self.column_indices.dtype}"
             )
-        if nnz and (cols > np.iinfo(expected_idx).max + 1):
-            raise ValueError(
-                f"{cols} columns not addressable with {expected_idx} indices"
-            )
+        if nnz:
+            check_column_capacity(cols, vdt)
         if nnz and (
             int(self.column_indices.min()) < 0
             or int(self.column_indices.max()) >= cols
         ):
             raise ValueError("column index out of range")
+        self._structure_checksum = self.structure_checksum()
+
+    # ------------------------------------------------------------------
+    # Deep validation (reliability layer)
+    # ------------------------------------------------------------------
+    def structure_checksum(self) -> str:
+        """Content hash of the structural metadata (not the values).
+
+        Computed once at construction; :meth:`validate_deep` recomputes and
+        compares, so any later in-place mutation of offsets or indices —
+        including a single bit flip that keeps every invariant intact —
+        is detectable.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(repr(self.shape).encode())
+        h.update(str(self.values.dtype).encode())
+        h.update(self.row_offsets.tobytes())
+        h.update(self.column_indices.tobytes())
+        return h.hexdigest()
+
+    def validate_deep(self) -> None:
+        """Re-verify every structural invariant plus the stored checksum.
+
+        Raises :class:`~repro.reliability.errors.InvalidTopologyError` on
+        the first violation. This is the guardrail the fault injector's
+        simulated-memory bit flips are caught by: an in-range flipped
+        column index passes the range checks but not the checksum.
+        """
+        from ..reliability.errors import InvalidTopologyError
+
+        rows, cols = self.shape
+        if self.row_offsets.shape != (rows + 1,) or self.row_offsets[0] != 0:
+            raise InvalidTopologyError(
+                f"corrupt row_offsets: shape {self.row_offsets.shape}, "
+                f"first entry {self.row_offsets[:1]}"
+            )
+        if np.any(np.diff(self.row_offsets) < 0):
+            raise InvalidTopologyError("corrupt row_offsets: not monotone")
+        nnz = int(self.row_offsets[-1])
+        if nnz < 0 or self.column_indices.shape != (nnz,):
+            raise InvalidTopologyError(
+                f"corrupt nnz: offsets say {nnz}, "
+                f"{self.column_indices.shape[0]} indices present"
+            )
+        if nnz and (
+            int(self.column_indices.min()) < 0
+            or int(self.column_indices.max()) >= cols
+        ):
+            raise InvalidTopologyError(
+                "corrupt column_indices: index outside [0, cols)"
+            )
+        if self.structure_checksum() != self._structure_checksum:
+            raise InvalidTopologyError(
+                "structure checksum mismatch: metadata mutated since "
+                "construction (simulated memory corruption)"
+            )
 
     # ------------------------------------------------------------------
     # Construction
@@ -90,7 +170,7 @@ class CSRMatrix:
         if dense.ndim != 2:
             raise ValueError("from_dense expects a 2-D array")
         vdt = np.dtype(dtype)
-        idt = INDEX_DTYPE_FOR_VALUES[vdt]
+        idt = check_column_capacity(dense.shape[1], vdt)
         mask = dense != 0
         row_offsets = np.zeros(dense.shape[0] + 1, dtype=np.int64)
         np.cumsum(mask.sum(axis=1), out=row_offsets[1:])
@@ -112,7 +192,7 @@ class CSRMatrix:
         csr.sum_duplicates()
         csr.sort_indices()
         vdt = np.dtype(dtype)
-        idt = INDEX_DTYPE_FOR_VALUES[vdt]
+        idt = check_column_capacity(csr.shape[1], vdt)
         return cls(
             shape=csr.shape,
             row_offsets=csr.indptr.astype(np.int64),
@@ -130,7 +210,7 @@ class CSRMatrix:
         """Build from a boolean mask; values default to 1 (an indicator)."""
         mask = np.asarray(mask, dtype=bool)
         vdt = np.dtype(dtype)
-        idt = INDEX_DTYPE_FOR_VALUES[vdt]
+        idt = check_column_capacity(mask.shape[1], vdt)
         row_offsets = np.zeros(mask.shape[0] + 1, dtype=np.int64)
         np.cumsum(mask.sum(axis=1), out=row_offsets[1:])
         _, cols = np.nonzero(mask)
@@ -164,7 +244,7 @@ class CSRMatrix:
     def astype(self, dtype: np.dtype | type) -> "CSRMatrix":
         """Re-type values (and, implicitly, indices per the precision rule)."""
         vdt = np.dtype(dtype)
-        idt = INDEX_DTYPE_FOR_VALUES[vdt]
+        idt = check_column_capacity(self.shape[1], vdt)
         return CSRMatrix(
             self.shape,
             self.row_offsets.copy(),

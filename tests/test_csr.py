@@ -77,8 +77,9 @@ class TestValidation:
                       np.array([1.0], np.float64))
 
     def test_fp16_column_count_limit(self):
-        """int16 indices cannot address more than 32768 columns."""
-        with pytest.raises(ValueError, match="not addressable"):
+        """int16 indices cannot address more than 32768 columns, and the
+        error names the mixed-precision constraint (Section V-D3)."""
+        with pytest.raises(ValueError, match="Section V-D3"):
             CSRMatrix(
                 (1, 40000),
                 np.array([0, 1]),

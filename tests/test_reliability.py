@@ -1,0 +1,499 @@
+"""Chaos suite for repro.reliability: seeded fault injection over the
+dispatch layer, fallback-chain semantics, numerical guardrails, and the
+telemetry/report bookkeeping they feed.
+
+The injector seed comes from ``REPRO_CHAOS_SEED`` (CI pins it along with
+``PYTHONHASHSEED=0``) so a failing schedule reproduces locally with the
+same environment.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import ops
+from repro.bench.runner import (
+    reliability_counters,
+    run_spmm_suite,
+    sputnik_spmm_time,
+)
+from repro.datasets.dnn_corpus import sample_corpus
+from repro.gpu import V100
+from repro.gpu.memory import flip_bit
+from repro.nn.attention import sparse_attention
+from repro.nn.layers import SparseLinear
+from repro.ops import ExecutionContext
+from repro.reliability import (
+    FallbackExhaustedError,
+    FallbackPolicy,
+    FaultInjector,
+    FaultSpec,
+    InvalidTopologyError,
+    KernelLaunchError,
+    NumericalError,
+    PlanCorruptionError,
+    scan_output,
+)
+from repro.sparse import CSRMatrix
+from tests.conftest import random_sparse
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "1234"))
+CHAIN = FallbackPolicy(("sputnik", "cusparse", "dense"), max_attempts=3)
+
+
+@pytest.fixture
+def ctx():
+    return ExecutionContext(V100)
+
+
+def problem(rng, rows=96, cols=64, density=0.3, n=16):
+    a = random_sparse(rng, rows, cols, density)
+    b = rng.standard_normal((cols, n)).astype(np.float32)
+    return a, b
+
+
+# ----------------------------------------------------------------------
+# Error taxonomy and structural guardrails
+# ----------------------------------------------------------------------
+class TestTaxonomy:
+    def test_retryable_classification(self):
+        assert KernelLaunchError.retryable
+        assert PlanCorruptionError.retryable
+        assert not InvalidTopologyError.retryable
+        assert not NumericalError.retryable
+        assert not FallbackExhaustedError.retryable
+
+    def test_validate_deep_passes_on_healthy_matrix(self, rng):
+        random_sparse(rng, 32, 32, 0.2).validate_deep()
+
+    def test_validate_deep_catches_in_range_bitflip(self, rng):
+        """A flip that keeps every invariant intact still fails the
+        checksum — the silent-corruption case range checks cannot see."""
+        a = random_sparse(rng, 32, 32, 0.5)
+        a.column_indices[3] ^= 1  # stays within [0, cols)
+        with pytest.raises(InvalidTopologyError, match="checksum"):
+            a.validate_deep()
+
+    def test_validate_deep_catches_out_of_range_index(self, rng):
+        a = random_sparse(rng, 16, 16, 0.5)
+        a.column_indices[0] = 999
+        with pytest.raises(InvalidTopologyError):
+            a.validate_deep()
+
+    def test_flip_bit_roundtrip(self):
+        arr = np.arange(8, dtype=np.int16)
+        original = flip_bit(arr, 3, 14)
+        assert arr[3] != original
+        arr[3] = original
+        assert (arr == np.arange(8)).all()
+
+    def test_flip_bit_sign_bit_of_int16(self):
+        arr = np.zeros(2, dtype=np.int16)
+        flip_bit(arr, 0, 15)
+        assert arr[0] == np.iinfo(np.int16).min
+
+
+class TestCSRConstruction:
+    def test_negative_nnz_rejected(self):
+        offsets = np.array([0, -5], dtype=np.int64)
+        with pytest.raises(ValueError, match="non-decreasing|negative"):
+            CSRMatrix((1, 4), offsets, np.zeros(0, np.int32), np.zeros(0, np.float32))
+
+    def test_fp16_wide_matrix_rejected_before_index_wrap(self):
+        """from_dense must refuse, not silently wrap int16 indices."""
+        dense = np.zeros((2, 40000), dtype=np.float32)
+        dense[0, 39000] = 1.0
+        with pytest.raises(ValueError, match="Section V-D3"):
+            CSRMatrix.from_dense(dense, dtype=np.float16)
+
+    def test_fp16_astype_wide_matrix_rejected(self, rng):
+        a = random_sparse(rng, 4, 100, 0.5)
+        wide = CSRMatrix(
+            (4, 40000), a.row_offsets, a.column_indices, a.values
+        )
+        with pytest.raises(ValueError, match="Section V-D3"):
+            wide.astype(np.float16)
+
+
+# ----------------------------------------------------------------------
+# Fallback chains + retry/backoff
+# ----------------------------------------------------------------------
+class TestFallbackChains:
+    def test_transient_launch_fault_retried_bitwise_identical(self, rng, ctx):
+        a, b = problem(rng)
+        clean = ops.spmm(a, b, context=ExecutionContext(V100))
+        injector = FaultInjector(
+            [FaultSpec("launch", backend="sputnik", every=1, max_faults=1)],
+            seed=CHAOS_SEED,
+        )
+        with injector.attached(ctx):
+            result = ops.spmm(a, b, context=ctx, backend=CHAIN)
+        report = result.reliability
+        assert report.backend_used == "sputnik"
+        assert report.retries == 1 and report.fallbacks == 0
+        assert (result.output == clean.output).all()
+
+    def test_backoff_accounted_in_simulated_time(self, rng, ctx):
+        a, b = problem(rng)
+        clean = ops.spmm(a, b, context=ExecutionContext(V100))
+        injector = FaultInjector(
+            [FaultSpec("launch", backend="sputnik", every=1, max_faults=2)],
+            seed=CHAOS_SEED,
+        )
+        with injector.attached(ctx):
+            result = ops.spmm(a, b, context=ctx, backend=CHAIN)
+        report = result.reliability
+        assert report.retries == 2
+        expected_backoff = CHAIN.backoff_base_s * (1 + CHAIN.backoff_factor)
+        assert report.backoff_s == pytest.approx(expected_backoff)
+        assert result.execution.runtime_s == pytest.approx(
+            clean.execution.runtime_s + expected_backoff
+        )
+
+    def test_permanent_backend_failure_falls_back_exactly(self, rng, ctx):
+        a, b = problem(rng)
+        clean = ops.spmm(a, b, context=ExecutionContext(V100))
+        injector = FaultInjector(
+            [FaultSpec("launch", backend="sputnik", rate=1.0)],
+            seed=CHAOS_SEED,
+        )
+        with injector.attached(ctx):
+            result = ops.spmm(a, b, context=ctx, backend=CHAIN)
+        report = result.reliability
+        assert report.backend_used == "cusparse"
+        assert report.fallbacks == 1
+        assert report.exact  # cusparse shares the reference numerics
+        assert (result.output == clean.output).all()
+
+    def test_exhausted_chain_raises_terminal_error(self, rng, ctx):
+        a, b = problem(rng)
+        injector = FaultInjector([FaultSpec("launch", rate=1.0)], seed=CHAOS_SEED)
+        chain = FallbackPolicy(("sputnik", "cusparse"), max_attempts=2)
+        with injector.attached(ctx):
+            with pytest.raises(FallbackExhaustedError) as excinfo:
+                ops.spmm(a, b, context=ctx, backend=chain)
+        assert len(excinfo.value.attempts) == 4  # 2 backends x 2 attempts
+        snap = ctx.telemetry_snapshot()
+        assert snap["spmm/cusparse"]["failures"] == 1
+        assert snap["spmm/sputnik"]["fallbacks"] == 1
+
+    def test_chain_filters_to_registered_backends(self, rng, ctx):
+        # sparse_softmax registers only sputnik; the shared chain still works.
+        a = random_sparse(rng, 32, 32, 0.4)
+        result = ops.sparse_softmax(a, context=ctx, backend=CHAIN)
+        assert result.reliability.backend_used == "sputnik"
+
+    def test_unknown_chain_raises_keyerror(self, rng, ctx):
+        a, b = problem(rng)
+        with pytest.raises(KeyError, match="no registered backend"):
+            ops.spmm(a, b, context=ctx, backend=["no_such_backend"])
+
+    def test_cost_path_falls_back_too(self, rng, ctx):
+        a, _ = problem(rng)
+        injector = FaultInjector(
+            [FaultSpec("launch", backend="sputnik", rate=1.0)], seed=CHAOS_SEED
+        )
+        with injector.attached(ctx):
+            result = ops.spmm_cost(a, 16, context=ctx, backend=CHAIN)
+        assert result.runtime_s > 0
+        assert ctx.last_dispatch_report.backend_used == "cusparse"
+
+
+# ----------------------------------------------------------------------
+# Injected corruption: metadata bit flips and plan poisoning
+# ----------------------------------------------------------------------
+class TestCorruptionFaults:
+    def test_bitflip_detected_repaired_and_identical(self, rng, ctx):
+        a, b = problem(rng)
+        clean = ops.spmm(a, b, context=ExecutionContext(V100))
+        injector = FaultInjector(
+            [FaultSpec("bitflip", op="spmm", every=1, max_faults=1)],
+            seed=CHAOS_SEED,
+        )
+        with injector.attached(ctx):
+            result = ops.spmm(a, b, context=ctx, backend=CHAIN)
+        assert result.reliability.retries == 1
+        assert (result.output == clean.output).all()
+        a.validate_deep()  # repair restored the pristine metadata
+
+    def test_unrepairable_corruption_is_terminal(self, rng, ctx):
+        a, b = problem(rng)
+        a.column_indices[0] ^= 1  # corrupt outside any injector
+        with pytest.raises(InvalidTopologyError):
+            ops.spmm(a, b, context=ctx, backend="sputnik", validate=True)
+        assert ctx.telemetry_snapshot()["spmm/sputnik"]["failures"] == 1
+
+    def test_plan_poisoning_evicts_and_replans(self, rng, ctx):
+        a, b = problem(rng)
+        clean = ops.spmm(a, b, context=ctx)  # warm the plan cache
+        injector = FaultInjector(
+            [FaultSpec("plan_poison", op="spmm", every=1, max_faults=1)],
+            seed=CHAOS_SEED,
+        )
+        with injector.attached(ctx):
+            result = ops.spmm(a, b, context=ctx, backend=CHAIN)
+        assert result.reliability.retries == 1
+        assert (result.output == clean.output).all()
+        # The poisoned entry was evicted; the cache is healthy again.
+        after = ops.spmm(a, b, context=ctx)
+        assert (after.output == clean.output).all()
+
+    def test_poisoned_cache_get_raises_with_key(self, ctx):
+        ctx.plans.put(("spmm", "k"), object())
+        ctx.plans.poison(("spmm", "k"))
+        with pytest.raises(PlanCorruptionError) as excinfo:
+            ctx.plans.get(("spmm", "k"))
+        assert excinfo.value.key == ("spmm", "k")
+        ctx.plans.evict(("spmm", "k"))
+        assert ctx.plans.get(("spmm", "k")) is None
+
+    def test_latency_spike_charged_to_simulated_time(self, rng, ctx):
+        a, b = problem(rng)
+        clean = ops.spmm(a, b, context=ExecutionContext(V100))
+        injector = FaultInjector(
+            [FaultSpec("latency", op="spmm", every=1, max_faults=1,
+                       latency_s=5e-3)],
+            seed=CHAOS_SEED,
+        )
+        with injector.attached(ctx):
+            result = ops.spmm(a, b, context=ctx, backend=CHAIN)
+        assert result.reliability.injected_latency_s == pytest.approx(5e-3)
+        assert result.execution.runtime_s == pytest.approx(
+            clean.execution.runtime_s + 5e-3
+        )
+        assert (result.output == clean.output).all()
+
+    def test_executor_site_fault_dies_inside_execute(self, rng, ctx):
+        a, b = problem(rng)
+        clean = ops.spmm(a, b, context=ExecutionContext(V100))
+        injector = FaultInjector(
+            [FaultSpec("launch", site="executor", name_contains="spmm",
+                       every=1, max_faults=1)],
+            seed=CHAOS_SEED,
+        )
+        with injector.attached(ctx):
+            result = ops.spmm(a, b, context=ctx, backend=CHAIN)
+        assert result.reliability.retries == 1
+        assert (result.output == clean.output).all()
+        assert injector.log[0].backend == "(executor)"
+
+
+# ----------------------------------------------------------------------
+# Numerical guardrails
+# ----------------------------------------------------------------------
+class TestGuardrails:
+    def fp16_overflow_problem(self):
+        a = CSRMatrix.from_dense(
+            np.full((8, 64), 64.0, dtype=np.float32), dtype=np.float16
+        )
+        b = np.full((64, 4), 64.0, dtype=np.float16)
+        return a, b  # row dot products reach 64*64*64 = 262144 > 65504
+
+    def test_fp16_overflow_triggers_degraded_fp32_rerun(self, ctx):
+        a, b = self.fp16_overflow_problem()
+        result = ops.spmm(a, b, context=ctx, validate=True)
+        report = result.reliability
+        assert report.degraded and not report.exact
+        assert result.output.dtype == np.float32
+        assert np.isfinite(result.output).all()
+        assert ctx.telemetry_snapshot()["spmm/sputnik"]["degraded"] == 1
+
+    def test_fp16_overflow_without_validation_saturates_silently(self, ctx):
+        a, b = self.fp16_overflow_problem()
+        with np.errstate(over="ignore"):
+            result = ops.spmm(a, b, context=ctx)
+        assert np.isinf(result.output).any()  # the failure mode guarded against
+
+    def test_fp32_nan_input_is_terminal(self, rng, ctx):
+        a, b = problem(rng)
+        b[0, 0] = np.nan
+        with pytest.raises(NumericalError) as excinfo:
+            ops.spmm(a, b, context=ctx, validate=True)
+        assert excinfo.value.kind == "nonfinite"
+
+    def test_scan_output_counts(self):
+        out = np.array([1.0, np.nan, np.inf, -np.inf], dtype=np.float32)
+        assert scan_output(out) == {"nan": 1, "inf": 2}
+
+    def test_validated_clean_run_is_unperturbed(self, rng, ctx):
+        a, b = problem(rng)
+        clean = ops.spmm(a, b, context=ExecutionContext(V100))
+        result = ops.spmm(a, b, context=ctx, validate=True)
+        assert (result.output == clean.output).all()
+        assert result.execution.runtime_s == clean.execution.runtime_s
+        assert result.reliability.clean
+
+
+# ----------------------------------------------------------------------
+# Telemetry API
+# ----------------------------------------------------------------------
+class TestTelemetryAPI:
+    def test_snapshot_and_reset(self, rng, ctx):
+        a, b = problem(rng)
+        ops.spmm(a, b, context=ctx)
+        snap = ctx.telemetry_snapshot()
+        assert snap["spmm/sputnik"]["launches"] == 1
+        snap["spmm/sputnik"]["launches"] = 99  # a copy, not the live stats
+        assert ctx.telemetry_snapshot()["spmm/sputnik"]["launches"] == 1
+        ctx.reset_telemetry()
+        assert ctx.telemetry_snapshot() == {}
+        ops.spmm(a, b, context=ctx)  # plans survived the telemetry reset
+        assert ctx.telemetry_snapshot()["spmm/sputnik"]["cache_hits"] == 1
+
+    def test_retry_counters_match_injected_fault_schedule(self, rng, ctx):
+        problems = [problem(rng, rows=64 + 8 * i, n=8) for i in range(6)]
+        injector = FaultInjector(
+            [FaultSpec("launch", backend="sputnik", rate=0.4)],
+            seed=CHAOS_SEED,
+        )
+        chain = FallbackPolicy(("sputnik", "cusparse"), max_attempts=50)
+        with injector.attached(ctx):
+            for a, b in problems:
+                ops.spmm(a, b, context=ctx, backend=chain)
+        # Every injected fault was absorbed by a same-backend retry.
+        stats = ctx.telemetry_snapshot()["spmm/sputnik"]
+        assert stats["retries"] == len(injector.log) > 0
+        assert stats["faults_injected"] == len(injector.log)
+        assert stats["fallbacks"] == 0
+
+    def test_injector_schedule_is_seed_deterministic(self, rng):
+        outcomes = []
+        for _ in range(2):
+            ctx = ExecutionContext(V100)
+            local_rng = np.random.default_rng(7)
+            injector = FaultInjector(
+                [FaultSpec("launch", backend="sputnik", rate=0.5)],
+                seed=CHAOS_SEED,
+            )
+            with injector.attached(ctx):
+                for i in range(5):
+                    a, b = problem(local_rng, rows=48 + 8 * i, n=4)
+                    ops.spmm(a, b, context=ctx, backend=CHAIN)
+            outcomes.append([f.index for f in injector.log])
+        assert outcomes[0] == outcomes[1]
+
+
+# ----------------------------------------------------------------------
+# Model layers surface degraded mode
+# ----------------------------------------------------------------------
+class TestLayerIntegration:
+    def test_sparse_linear_reports_fallback(self, rng):
+        weight = random_sparse(rng, 64, 48, 0.3)
+        x = rng.standard_normal((48, 8)).astype(np.float32)
+        layer = SparseLinear(weight, policy=CHAIN)
+        ctx = ExecutionContext(V100)
+        injector = FaultInjector(
+            [FaultSpec("launch", backend="sputnik", rate=1.0)],
+            seed=CHAOS_SEED,
+        )
+        clean = ops.spmm(weight, x, context=ExecutionContext(V100)).output
+        with injector.attached(ctx):
+            out = ops.spmm(weight, x, context=ctx, backend=CHAIN).output
+        assert (out == clean).all()  # cusparse fallback shares the numerics
+        # And through the layer API against the shared default context:
+        y = layer.forward(x, V100)
+        assert layer.last_report is not None
+        assert not layer.degraded
+        assert (y == clean).all()
+
+    def test_sparse_attention_collects_reports(self, rng):
+        seq, dk = 32, 16
+        q = rng.standard_normal((seq, dk)).astype(np.float32)
+        k = rng.standard_normal((seq, dk)).astype(np.float32)
+        v = rng.standard_normal((seq, dk)).astype(np.float32)
+        mask = CSRMatrix.from_mask(np.tril(np.ones((seq, seq), dtype=bool)))
+        reports = []
+        out = sparse_attention(
+            q, k, v, mask, V100, policy=CHAIN, reports=reports
+        )
+        assert out.shape == (seq, dk)
+        assert [r.op for r in reports] == ["sddmm", "sparse_softmax", "spmm"]
+        assert all(r.clean for r in reports)
+
+
+# ----------------------------------------------------------------------
+# Bench runner resilience
+# ----------------------------------------------------------------------
+class TestBenchResilience:
+    def test_failed_matrix_yields_failed_row_not_abort(self, rng, device):
+        good = random_sparse(rng, 64, 48, 0.3)
+        bad = random_sparse(rng, 32, 32, 0.3)
+        bad.column_indices[0] = 31  # still valid; failure comes from the timer
+
+        def flaky_timer(a, n, dev):
+            if a is bad:
+                raise KernelLaunchError("injected benchmark failure")
+            return sputnik_spmm_time(a, n, dev)
+
+        rows = run_spmm_suite(
+            [("good", good, 16), ("bad", bad, 16)],
+            {"flaky": flaky_timer},
+            device,
+        )
+        assert len(rows) == 2
+        ok, failed = rows
+        assert ok.status == "ok" and ok.runtime_s > 0
+        assert failed.status == "failed" and failed.failed
+        assert "KernelLaunchError" in failed.error
+        assert np.isnan(failed.runtime_s)
+        assert failed.throughput_flops == 0.0
+
+    def test_reliability_counters_helper(self, rng):
+        ctx = ExecutionContext(V100)
+        a, b = problem(rng)
+        ops.spmm(a, b, context=ctx)
+        counters = reliability_counters(context=ctx)
+        assert counters["spmm/sputnik"]["launches"] == 1
+
+
+# ----------------------------------------------------------------------
+# Acceptance: chaotic sweep over the bundled corpus
+# ----------------------------------------------------------------------
+class TestChaosSweep:
+    def test_corpus_sweep_survives_ten_percent_launch_failures(self):
+        """The ISSUE acceptance scenario: 10% sputnik launch failures over
+        a corpus sweep — zero crashes, bitwise-identical results for exact
+        fallbacks, telemetry matching the injected schedule exactly."""
+        specs = sample_corpus(12, seed=0)
+        matrices = [
+            (spec.name, spec.materialize(), 16) for spec in specs
+        ]
+        clean_ctx = ExecutionContext(V100)
+        clean = [
+            ops.spmm(a, np.ones((a.n_cols, n), dtype=np.float32),
+                     context=clean_ctx).output
+            for _, a, n in matrices
+        ]
+
+        ctx = ExecutionContext(V100)
+        injector = FaultInjector(
+            [FaultSpec("launch", op="spmm", backend="sputnik", rate=0.1)],
+            seed=CHAOS_SEED,
+        )
+        chain = FallbackPolicy(
+            ("sputnik", "cusparse", "dense"), max_attempts=3
+        )
+        outputs, reports = [], []
+        with injector.attached(ctx):
+            for _, a, n in matrices:
+                b = np.ones((a.n_cols, n), dtype=np.float32)
+                result = ops.spmm(a, b, context=ctx, backend=chain)
+                outputs.append(result.output)
+                reports.append(result.reliability)
+
+        # Zero crashes: every problem produced an output.
+        assert len(outputs) == len(matrices)
+        # Bitwise identity wherever the producing backend is exact.
+        for out, ref, report in zip(outputs, clean, reports):
+            if report.exact:
+                assert (out == ref).all()
+        # Telemetry matches the injected schedule exactly: each fault is a
+        # retry or a fallback, nothing lost, nothing spurious.
+        stats = ctx.telemetry_snapshot()["spmm/sputnik"]
+        absorbed = stats["retries"] + 2 * stats["fallbacks"]
+        assert stats["faults_injected"] == len(injector.log)
+        assert absorbed == len(injector.log)
+        assert stats["failures"] == 0
+        assert sum(r.retries for r in reports) == stats["retries"]
+        assert sum(r.fallbacks for r in reports) == stats["fallbacks"]
