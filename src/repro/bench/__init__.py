@@ -11,6 +11,8 @@ from .report import (
     speedup_stats,
 )
 from .runner import (
+    SDDMM_KERNELS,
+    SPMM_KERNELS,
     BenchRow,
     aspt_sddmm_time,
     aspt_spmm_time,
@@ -24,9 +26,23 @@ from .runner import (
     sputnik_sddmm_time,
     sputnik_spmm_time,
 )
+from .sweep import (
+    SweepReport,
+    SweepTask,
+    build_tasks,
+    run_sweep,
+    warm_store,
+)
 
 __all__ = [
     "BenchRow",
+    "SPMM_KERNELS",
+    "SDDMM_KERNELS",
+    "SweepTask",
+    "SweepReport",
+    "build_tasks",
+    "run_sweep",
+    "warm_store",
     "run_spmm_suite",
     "run_sddmm_suite",
     "reliability_counters",

@@ -70,6 +70,27 @@ def aspt_sddmm_time(mask: CSRMatrix, k: int, device: DeviceSpec) -> ExecutionRes
 
 
 # ----------------------------------------------------------------------
+# Named kernel registries
+# ----------------------------------------------------------------------
+#: SpMM timers by name, so sweep configurations (and worker processes) can
+#: refer to kernels by string instead of shipping callables around.
+SPMM_KERNELS: dict[str, SpmmTimer] = {
+    "sputnik": sputnik_spmm_time,
+    "cusparse": cusparse_spmm_time,
+    "merge": merge_spmm_time,
+    "aspt": aspt_spmm_time,
+    "dense": dense_spmm_time,
+}
+
+#: SDDMM timers by name (see :data:`SPMM_KERNELS`).
+SDDMM_KERNELS: dict[str, SddmmTimer] = {
+    "sputnik": sputnik_sddmm_time,
+    "cusparse": cusparse_sddmm_time,
+    "aspt": aspt_sddmm_time,
+}
+
+
+# ----------------------------------------------------------------------
 # Sweeps
 # ----------------------------------------------------------------------
 @dataclass

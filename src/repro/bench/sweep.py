@@ -1,0 +1,349 @@
+"""Parallel corpus sweeps with a shared persistent plan store.
+
+A corpus sweep times every kernel on hundreds-to-thousands of matrices
+(Section II of the paper sweeps the full DNN corpus). Three properties make
+this embarrassingly parallel but annoying in practice, and this module
+handles all three:
+
+- **Sharding** — the (spec, kernel, n) task list is chunked across a
+  :class:`~concurrent.futures.ProcessPoolExecutor`; chunks keep one spec's
+  tasks contiguous so each worker materializes a matrix once per chunk.
+- **Warm starts** — every worker attaches the same disk-backed
+  :class:`~repro.ops.store.PlanStore` (atomic writes, no locks) and installs
+  its context as the process default, so kernel timers resolve plans from
+  the shared store. Finished measurements are *also* persisted as
+  result-level store entries keyed by the spec's repr, so a warm re-run
+  skips even matrix materialization.
+- **Streaming + resume** — completed rows are appended to a JSONL file as
+  chunks finish; ``resume=True`` reads it back and skips every task already
+  measured, so an interrupted 10k-row sweep restarts where it stopped.
+
+``workers <= 1`` runs chunks in-process (no pool), which keeps tests and
+debugging simple — monkeypatched kernels and in-memory stores behave
+normally there.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .. import ops
+from ..datasets.spec import MatrixSpec
+from ..gpu.device import DeviceSpec
+from .runner import SPMM_KERNELS, _measure
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One (matrix spec, kernel, batch size) measurement to run."""
+
+    spec: MatrixSpec
+    kernel: str
+    n: int
+
+    @property
+    def row_key(self) -> str:
+        """Stable identity used for resume bookkeeping and store keys."""
+        return f"{self.spec.name}|{self.kernel}|{self.n}"
+
+
+@dataclass
+class SweepReport:
+    """What a sweep did and how fast it went."""
+
+    total_tasks: int
+    measured: int
+    from_store: int
+    resumed: int
+    failed: int
+    workers: int
+    wall_s: float
+    store_counters: dict[str, int] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def rows_per_s(self) -> float:
+        done = self.measured + self.from_store
+        return done / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        out = asdict(self)
+        out["rows_per_s"] = self.rows_per_s
+        return out
+
+
+def build_tasks(
+    specs: Iterable[MatrixSpec],
+    kernels: Sequence[str],
+    n: int | Sequence[int] = 64,
+) -> list[SweepTask]:
+    """Expand specs × kernels × batch sizes into the sweep's task list.
+
+    A spec's own ``batch_columns`` (when set) override the sweep-level
+    ``n``; unknown kernel names fail fast here rather than inside a worker.
+    """
+    for name in kernels:
+        if name not in SPMM_KERNELS:
+            raise ValueError(
+                f"unknown kernel {name!r}; known: {sorted(SPMM_KERNELS)}"
+            )
+    batches = (n,) if isinstance(n, int) else tuple(n)
+    tasks = []
+    for spec in specs:
+        spec_batches = spec.batch_columns or batches
+        for kernel in kernels:
+            for cols in spec_batches:
+                tasks.append(SweepTask(spec=spec, kernel=kernel, n=int(cols)))
+    return tasks
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+#: Per-process context cache: (device, store path) -> ExecutionContext.
+#: Pool workers populate it once via the initializer; the in-process path
+#: reuses the same mechanism.
+_WORKER_CONTEXTS: dict[tuple, "ops.ExecutionContext"] = {}
+
+
+def _worker_context(
+    device: DeviceSpec, store_path: str | None
+) -> "ops.ExecutionContext":
+    key = (device, store_path)
+    ctx = _WORKER_CONTEXTS.get(key)
+    if ctx is None:
+        ctx = ops.ExecutionContext(device, store=store_path)
+        # Bench timers resolve the implicit default context, so the sweep's
+        # store-backed context must be installed as that default.
+        ops.set_default_context(ctx)
+        _WORKER_CONTEXTS[key] = ctx
+    return ctx
+
+
+def _init_worker(device: DeviceSpec, store_path: str | None) -> None:
+    """Pool initializer: build this process's store-backed context once."""
+    _worker_context(device, store_path)
+
+
+def _row_store_key(device: DeviceSpec, task: SweepTask) -> tuple:
+    return ("sweep_row", device, repr(task.spec), task.kernel, task.n)
+
+
+def _run_chunk(
+    tasks: list[SweepTask], device: DeviceSpec, store_path: str | None
+) -> tuple[list[dict], dict]:
+    """Measure one chunk of tasks; returns (rows, counter deltas).
+
+    Counters are *deltas* across this chunk — workers are long-lived and
+    their stats are cumulative, so the parent sums deltas instead of
+    re-reading totals (which would double-count across chunks).
+    """
+    ctx = _worker_context(device, store_path)
+    store = ctx.store
+    store_before = store.stats.as_dict() if store is not None else {}
+    hits0, misses0 = ctx.telemetry.cache_hits, ctx.telemetry.cache_misses
+
+    by_spec: dict[MatrixSpec, list[SweepTask]] = {}
+    for task in tasks:
+        by_spec.setdefault(task.spec, []).append(task)
+
+    rows: list[dict] = []
+    from_store = 0
+    for spec, group in by_spec.items():
+        matrix = None
+        for task in group:
+            if store is not None:
+                cached, status = store.fetch(_row_store_key(device, task))
+                if status == "hit":
+                    cached["row_key"] = task.row_key
+                    rows.append(cached)
+                    from_store += 1
+                    continue
+            if matrix is None:
+                matrix = spec.materialize()
+            timer = SPMM_KERNELS[task.kernel]
+            row = asdict(
+                _measure(timer, spec.name, task.kernel, matrix, task.n, device)
+            )
+            if store is not None and row["status"] == "ok":
+                store.save(_row_store_key(device, task), dict(row))
+            row["row_key"] = task.row_key
+            rows.append(row)
+
+    store_after = store.stats.as_dict() if store is not None else {}
+    deltas = {
+        "from_store": from_store,
+        "cache_hits": ctx.telemetry.cache_hits - hits0,
+        "cache_misses": ctx.telemetry.cache_misses - misses0,
+        "store": {
+            k: store_after[k] - store_before[k] for k in store_after
+        },
+    }
+    return rows, deltas
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+def _chunk_tasks(
+    tasks: list[SweepTask], chunk_size: int
+) -> list[list[SweepTask]]:
+    """Pack tasks into chunks, keeping each spec's tasks contiguous.
+
+    A chunk closes once it reaches ``chunk_size``, but never in the middle
+    of a spec's group — splitting a group would materialize the matrix in
+    two workers.
+    """
+    by_spec: dict[MatrixSpec, list[SweepTask]] = {}
+    for task in tasks:
+        by_spec.setdefault(task.spec, []).append(task)
+    chunks: list[list[SweepTask]] = []
+    current: list[SweepTask] = []
+    for group in by_spec.values():
+        current.extend(group)
+        if len(current) >= chunk_size:
+            chunks.append(current)
+            current = []
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def _load_done_keys(out_path: Path) -> set[str]:
+    """Row keys already present in a partial JSONL output (for resume)."""
+    done: set[str] = set()
+    try:
+        text = out_path.read_text()
+    except OSError:
+        return done
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # truncated trailing line from an interrupted run
+        key = row.get("row_key")
+        if key:
+            done.add(key)
+    return done
+
+
+def run_sweep(
+    specs: Iterable[MatrixSpec],
+    kernels: Sequence[str],
+    device: DeviceSpec,
+    *,
+    n: int | Sequence[int] = 64,
+    workers: int = 1,
+    chunk_size: int = 8,
+    store_path: str | Path | None = None,
+    out_path: str | Path | None = None,
+    resume: bool = False,
+) -> tuple[list[dict], SweepReport]:
+    """Sweep ``kernels`` over ``specs`` on ``device``; returns (rows, report).
+
+    - ``workers > 1`` shards chunks across a process pool whose workers all
+      share ``store_path`` (plans and finished rows persist there);
+      ``workers <= 1`` runs in-process.
+    - ``out_path`` streams rows to JSONL as chunks complete; with
+      ``resume=True`` tasks whose ``row_key`` already appears there are
+      skipped and the existing rows are returned alongside the new ones.
+    """
+    tasks = build_tasks(specs, kernels, n=n)
+    total = len(tasks)
+    out_file = Path(out_path) if out_path is not None else None
+    store_str = str(store_path) if store_path is not None else None
+
+    resumed_rows: list[dict] = []
+    if out_file is not None and resume:
+        done = _load_done_keys(out_file)
+        if done:
+            for line in out_file.read_text().splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if row.get("row_key") in done:
+                    resumed_rows.append(row)
+            tasks = [t for t in tasks if t.row_key not in done]
+    elif out_file is not None and not resume:
+        out_file.write_text("")  # fresh run truncates any stale partial
+
+    chunks = _chunk_tasks(tasks, chunk_size)
+    rows: list[dict] = []
+    totals = {
+        "from_store": 0,
+        "cache_hits": 0,
+        "cache_misses": 0,
+        "store": {"hits": 0, "misses": 0, "writes": 0, "evictions": 0},
+    }
+
+    def _absorb(chunk_rows: list[dict], deltas: dict) -> None:
+        rows.extend(chunk_rows)
+        totals["from_store"] += deltas["from_store"]
+        totals["cache_hits"] += deltas["cache_hits"]
+        totals["cache_misses"] += deltas["cache_misses"]
+        for k, v in deltas["store"].items():
+            totals["store"][k] = totals["store"].get(k, 0) + v
+        if out_file is not None and chunk_rows:
+            with out_file.open("a") as fh:
+                for row in chunk_rows:
+                    fh.write(json.dumps(row) + "\n")
+
+    start = time.perf_counter()
+    if workers <= 1 or len(chunks) <= 1:
+        for chunk in chunks:
+            _absorb(*_run_chunk(chunk, device, store_str))
+    else:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(device, store_str),
+        ) as pool:
+            futures = [
+                pool.submit(_run_chunk, chunk, device, store_str)
+                for chunk in chunks
+            ]
+            for future in as_completed(futures):
+                _absorb(*future.result())
+    wall = time.perf_counter() - start
+
+    failed = sum(1 for row in rows if row.get("status") != "ok")
+    report = SweepReport(
+        total_tasks=total,
+        measured=len(rows) - totals["from_store"],
+        from_store=totals["from_store"],
+        resumed=len(resumed_rows),
+        failed=failed,
+        workers=max(1, workers),
+        wall_s=wall,
+        store_counters=dict(totals["store"]),
+        cache_hits=totals["cache_hits"],
+        cache_misses=totals["cache_misses"],
+    )
+    return resumed_rows + rows, report
+
+
+def warm_store(
+    specs: Iterable[MatrixSpec],
+    kernels: Sequence[str],
+    device: DeviceSpec,
+    store_path: str | Path,
+    **kwargs,
+) -> SweepReport:
+    """Pre-populate a plan store by running the sweep once (no JSONL)."""
+    _, report = run_sweep(
+        specs, kernels, device, store_path=store_path, **kwargs
+    )
+    return report

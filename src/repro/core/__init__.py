@@ -24,6 +24,7 @@ from .roma import (
     AlignedRows,
     align_rows,
     masked_gather,
+    masked_gather_reference,
     unaligned_rows,
 )
 from .sddmm import SddmmPlan, execute_sddmm, plan_sddmm, sddmm
@@ -94,6 +95,7 @@ __all__ = [
     "align_rows",
     "unaligned_rows",
     "masked_gather",
+    "masked_gather_reference",
     "AlignedRows",
     "ROMA_PRELUDE_INSTRUCTIONS",
     "ROMA_MASK_INSTRUCTIONS",

@@ -51,7 +51,11 @@ def bundle_rows(order: np.ndarray, bundle_size: int) -> list[np.ndarray]:
     if bundle_size <= 0:
         raise ValueError("bundle_size must be positive")
     order = np.asarray(order)
-    return [order[i : i + bundle_size] for i in range(0, len(order), bundle_size)]
+    n_full = len(order) // bundle_size
+    bundles = list(order[: n_full * bundle_size].reshape(n_full, bundle_size))
+    if len(order) % bundle_size:
+        bundles.append(order[n_full * bundle_size :])
+    return bundles
 
 
 def bundle_weights(row_lengths: np.ndarray, order: np.ndarray, bundle_size: int) -> np.ndarray:

@@ -23,6 +23,7 @@ from .scheduler import (
     ScheduleResult,
     linear_block_index,
     simulate_schedule,
+    simulate_schedule_reference,
     volta_first_wave_sm,
 )
 
@@ -40,6 +41,7 @@ __all__ = [
     "compute_occupancy",
     "ScheduleResult",
     "simulate_schedule",
+    "simulate_schedule_reference",
     "volta_first_wave_sm",
     "linear_block_index",
     "VECTOR_WIDTHS",

@@ -27,6 +27,7 @@ from .context import (
     Telemetry,
     default_context,
     reset_default_contexts,
+    set_default_context,
 )
 from .operators import (
     csc_spmm,
@@ -42,6 +43,7 @@ from .operators import (
     spmm_cost,
 )
 from .plans import PlanCache, matrix_fingerprint
+from .store import PLAN_STORE_VERSION, PlanStore, StoreStats
 from .registry import (
     KernelImpl,
     available,
@@ -66,9 +68,13 @@ __all__ = [
     "OpStats",
     "default_context",
     "reset_default_contexts",
+    "set_default_context",
     "resolve_context",
     "PlanCache",
     "matrix_fingerprint",
+    "PlanStore",
+    "StoreStats",
+    "PLAN_STORE_VERSION",
     "KernelImpl",
     "register",
     "get_impl",

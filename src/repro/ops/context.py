@@ -14,6 +14,7 @@ automatically across layers and training steps.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -33,6 +34,7 @@ from ..gpu.executor import ExecutionResult
 from ..sparse.csc import CSCMatrix
 from ..sparse.csr import CSRMatrix
 from .plans import DEFAULT_MAX_PLANS, PlanCache, matrix_fingerprint
+from .store import PlanStore
 
 #: Valid config selectors for ops that resolve their own config.
 SELECTORS = ("heuristic", "oracle")
@@ -53,6 +55,10 @@ class OpStats:
     failures: int = 0
     faults_injected: int = 0
     backoff_seconds: float = 0.0
+    # Persistent plan-store counters (populated when a store is attached).
+    store_hits: int = 0
+    store_misses: int = 0
+    store_evictions: int = 0
 
     def as_dict(self) -> dict[str, int | float]:
         return {
@@ -66,6 +72,9 @@ class OpStats:
             "failures": self.failures,
             "faults_injected": self.faults_injected,
             "backoff_seconds": self.backoff_seconds,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "store_evictions": self.store_evictions,
         }
 
 
@@ -91,6 +100,18 @@ class Telemetry:
             entry.cache_hits += 1
         else:
             entry.cache_misses += 1
+
+    def record_store(self, op: str, backend: str, status: str) -> None:
+        """One persistent plan-store lookup: ``"hit"``, ``"miss"``, or
+        ``"corrupt"`` (an evicted corrupt entry, which also misses)."""
+        entry = self._get(op, backend)
+        if status == "hit":
+            entry.store_hits += 1
+        elif status == "corrupt":
+            entry.store_evictions += 1
+            entry.store_misses += 1
+        else:
+            entry.store_misses += 1
 
     # -- reliability counters (fed by repro.reliability.policy) ----------
     def record_retry(self, op: str, backend: str) -> None:
@@ -166,6 +187,18 @@ class Telemetry:
     def faults_injected(self) -> int:
         return sum(s.faults_injected for s in self.stats.values())
 
+    @property
+    def store_hits(self) -> int:
+        return sum(s.store_hits for s in self.stats.values())
+
+    @property
+    def store_misses(self) -> int:
+        return sum(s.store_misses for s in self.stats.values())
+
+    @property
+    def store_evictions(self) -> int:
+        return sum(s.store_evictions for s in self.stats.values())
+
     def summary(self) -> str:
         """One line per (op, backend), for logs and examples."""
         lines = []
@@ -182,6 +215,12 @@ class Telemetry:
                 )
             if s.faults_injected:
                 line += f" faults={s.faults_injected}"
+            if s.store_hits or s.store_misses:
+                line += (
+                    f" store_hits={s.store_hits} store_misses={s.store_misses}"
+                )
+                if s.store_evictions:
+                    line += f" store_evictions={s.store_evictions}"
             lines.append(line)
         return "\n".join(lines)
 
@@ -195,11 +234,19 @@ class ExecutionContext:
     """
 
     def __init__(
-        self, device: DeviceSpec = V100, max_plans: int = DEFAULT_MAX_PLANS
+        self,
+        device: DeviceSpec = V100,
+        max_plans: int = DEFAULT_MAX_PLANS,
+        store: PlanStore | str | Path | None = None,
     ) -> None:
         self.device = device
         self.plans = PlanCache(max_plans)
         self.telemetry = Telemetry()
+        #: Optional disk-backed :class:`~repro.ops.store.PlanStore` consulted
+        #: between the in-memory cache and a plan rebuild; a path builds one.
+        self.store = (
+            PlanStore(store) if isinstance(store, (str, Path)) else store
+        )
         #: A :class:`~repro.reliability.injector.FaultInjector`, or ``None``.
         #: When set, every dispatched op runs through the policy loop even
         #: for single-backend calls, so injected faults are retried.
@@ -216,8 +263,41 @@ class ExecutionContext:
         )
 
     def clear(self) -> None:
-        """Drop all cached plans (telemetry is kept)."""
+        """Drop all in-memory cached plans (telemetry and store are kept)."""
         self.plans.clear()
+
+    def attach_store(self, store: PlanStore | str | Path | None) -> None:
+        """Attach (or detach, with ``None``) a persistent plan store."""
+        self.store = (
+            PlanStore(store) if isinstance(store, (str, Path)) else store
+        )
+
+    def _cached(self, op: str, backend: str, key: tuple, build):
+        """Two-tier plan lookup: memory cache, then the persistent store,
+        then ``build`` (persisting the result to both tiers).
+
+        A poisoned in-memory entry raises
+        :class:`~repro.reliability.errors.PlanCorruptionError` exactly like
+        the direct cache path, so the reliability policies keep working; a
+        corrupt *on-disk* entry is self-healing (evicted and rebuilt) and
+        only surfaces in the ``store_evictions`` telemetry.
+        """
+        value = self.plans.get(key)
+        if value is not None:
+            self.telemetry.record_cache(op, backend, True)
+            return value
+        self.telemetry.record_cache(op, backend, False)
+        if self.store is not None:
+            stored, status = self.store.fetch((self.device,) + key)
+            self.telemetry.record_store(op, backend, status)
+            if stored is not None:
+                self.plans.put(key, stored)
+                return stored
+        value = build()
+        self.plans.put(key, value)
+        if self.store is not None:
+            self.store.save((self.device,) + key, value)
+        return value
 
     # ------------------------------------------------------------------
     # Telemetry API (benchmarks/tests use this, not the raw counters)
@@ -252,12 +332,17 @@ class ExecutionContext:
         fp = fingerprint or matrix_fingerprint(a)
         precision = "mixed" if a.values.dtype == np.float16 else "fp32"
         key = ("spmm_config", fp, n, precision, selector)
+        if selector == "oracle":
+            # The oracle costs every candidate variant — worth persisting.
+            return self._cached(
+                "spmm_config",
+                "oracle",
+                key,
+                lambda: oracle_spmm_config(a, n, self.device, precision),
+            )
         config = self.plans.get(key)
         if config is None:
-            if selector == "oracle":
-                config = oracle_spmm_config(a, n, self.device, precision)
-            else:
-                config = select_spmm_config(a, n, precision)
+            config = select_spmm_config(a, n, precision)
             self.plans.put(key, config)
         return config
 
@@ -276,11 +361,9 @@ class ExecutionContext:
         if config is None:
             config = self.spmm_config(a, n, selector, fingerprint=fp)
         key = ("spmm", fp, n, config)
-        plan, hit = self.plans.get_or_build(
-            key, lambda: plan_spmm(a, n, self.device, config)
+        return self._cached(
+            "spmm", backend, key, lambda: plan_spmm(a, n, self.device, config)
         )
-        self.telemetry.record_cache("spmm", backend, hit)
-        return plan
 
     def sddmm_plan(
         self,
@@ -293,22 +376,24 @@ class ExecutionContext:
             config = select_sddmm_config(k)
         fp = matrix_fingerprint(mask)
         key = ("sddmm", fp, k, config)
-        plan, hit = self.plans.get_or_build(
-            key, lambda: plan_sddmm(mask, k, self.device, config)
+        return self._cached(
+            "sddmm",
+            backend,
+            key,
+            lambda: plan_sddmm(mask, k, self.device, config),
         )
-        self.telemetry.record_cache("sddmm", backend, hit)
-        return plan
 
     def sparse_softmax_plan(
         self, a: CSRMatrix, backend: str = "sputnik"
     ) -> SparseSoftmaxPlan:
         fp = matrix_fingerprint(a)
         key = ("sparse_softmax", fp)
-        plan, hit = self.plans.get_or_build(
-            key, lambda: plan_sparse_softmax(a, self.device)
+        return self._cached(
+            "sparse_softmax",
+            backend,
+            key,
+            lambda: plan_sparse_softmax(a, self.device),
         )
-        self.telemetry.record_cache("sparse_softmax", backend, hit)
-        return plan
 
     def csc_spmm_plan(
         self,
@@ -319,11 +404,12 @@ class ExecutionContext:
     ) -> SpmmPlan:
         fp = matrix_fingerprint(a)
         key = ("csc_spmm", fp, n, config)
-        plan, hit = self.plans.get_or_build(
-            key, lambda: plan_spmm_csc(a, n, self.device, config)
+        return self._cached(
+            "csc_spmm",
+            backend,
+            key,
+            lambda: plan_spmm_csc(a, n, self.device, config),
         )
-        self.telemetry.record_cache("csc_spmm", backend, hit)
-        return plan
 
     # ------------------------------------------------------------------
     # Cost-only results (cached; used by benchmarks and model cost paths)
@@ -343,11 +429,12 @@ class ExecutionContext:
         dense-SpMM backend pass their own names; the cache entry is shared.
         """
         key = ("matmul", m, n, k, element_bytes)
-        result, hit = self.plans.get_or_build(
-            key, lambda: gemm_execution(m, n, k, self.device, element_bytes)
+        return self._cached(
+            op,
+            backend,
+            key,
+            lambda: gemm_execution(m, n, k, self.device, element_bytes),
         )
-        self.telemetry.record_cache(op, backend, hit)
-        return result
 
     def cost(self, key: tuple, build) -> ExecutionResult:
         """Generic cached cost entry for baseline backends.
@@ -355,9 +442,7 @@ class ExecutionContext:
         ``key[0]`` must be the op name and ``key[1]`` the backend (used for
         telemetry attribution).
         """
-        result, hit = self.plans.get_or_build(key, build)
-        self.telemetry.record_cache(key[0], key[1], hit)
-        return result
+        return self._cached(key[0], key[1], key, build)
 
 
 #: Module-level default contexts, one per device. Shared by every call site
@@ -372,6 +457,17 @@ def default_context(device: DeviceSpec = V100) -> ExecutionContext:
         ctx = ExecutionContext(device)
         _DEFAULT_CONTEXTS[device] = ctx
     return ctx
+
+
+def set_default_context(context: ExecutionContext) -> ExecutionContext:
+    """Install ``context`` as the shared default for its device.
+
+    Sweep workers use this so call sites that resolve contexts implicitly
+    (the benchmark timers, the nn layers) run with the worker's
+    store-backed context instead of a fresh one. Returns the context.
+    """
+    _DEFAULT_CONTEXTS[context.device] = context
+    return context
 
 
 def reset_default_contexts() -> None:

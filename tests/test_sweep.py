@@ -1,0 +1,219 @@
+"""Tests for the parallel sweep executor (repro.bench.sweep).
+
+Everything runs with ``workers=1`` (in-process) except one small smoke test
+of the actual process pool — in-process keeps monkeypatching and tmp-path
+stores working naturally.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import build_tasks, run_sweep
+from repro.bench import sweep as sweep_mod
+from repro.datasets import MatrixSpec
+from repro.gpu import V100
+from repro import ops
+
+
+def make_specs(n: int, rows: int = 128, cols: int = 96) -> list[MatrixSpec]:
+    return [
+        MatrixSpec(
+            name=f"t{i}",
+            model="test",
+            layer=f"l{i}",
+            rows=rows,
+            cols=cols,
+            sparsity=0.85,
+            row_cov=0.25,
+            seed=500 + i,
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _isolate_default_contexts():
+    """run_sweep installs store-backed default contexts; keep them from
+    leaking into other tests."""
+    yield
+    ops.reset_default_contexts()
+    sweep_mod._WORKER_CONTEXTS.clear()
+
+
+class TestBuildTasks:
+    def test_cross_product(self):
+        tasks = build_tasks(make_specs(3), ["sputnik", "dense"], n=64)
+        assert len(tasks) == 6
+        assert {t.kernel for t in tasks} == {"sputnik", "dense"}
+        assert all(t.n == 64 for t in tasks)
+
+    def test_multiple_batch_sizes(self):
+        tasks = build_tasks(make_specs(2), ["sputnik"], n=[32, 64])
+        assert len(tasks) == 4
+        assert sorted({t.n for t in tasks}) == [32, 64]
+
+    def test_spec_batch_columns_override(self):
+        spec = MatrixSpec(
+            name="b", model="m", layer="l", rows=64, cols=64,
+            sparsity=0.5, row_cov=0.1, seed=1, batch_columns=(8, 16),
+        )
+        tasks = build_tasks([spec], ["sputnik"], n=64)
+        assert sorted(t.n for t in tasks) == [8, 16]
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            build_tasks(make_specs(1), ["sputnik", "nope"])
+
+    def test_row_keys_unique(self):
+        tasks = build_tasks(make_specs(4), ["sputnik", "cusparse"], n=[32, 64])
+        keys = [t.row_key for t in tasks]
+        assert len(set(keys)) == len(keys)
+
+
+class TestRunSweepInProcess:
+    def test_row_counts_and_fields(self):
+        rows, report = run_sweep(
+            make_specs(3), ["sputnik", "cusparse"], V100, n=32, workers=1
+        )
+        assert len(rows) == 6
+        assert report.total_tasks == 6
+        assert report.measured == 6
+        assert report.failed == 0
+        for row in rows:
+            assert row["status"] == "ok"
+            assert row["runtime_s"] > 0
+            assert row["row_key"]
+
+    def test_warm_store_serves_rows(self, tmp_path):
+        specs = make_specs(3)
+        store = tmp_path / "store"
+        cold_rows, cold = run_sweep(
+            specs, ["sputnik"], V100, n=32, workers=1, store_path=store
+        )
+        warm_rows, warm = run_sweep(
+            specs, ["sputnik"], V100, n=32, workers=1, store_path=store
+        )
+        assert cold.from_store == 0
+        assert warm.from_store == 3
+        assert warm.measured == 0
+        assert warm.store_counters["hits"] == 3
+        cold_t = {r["row_key"]: r["runtime_s"] for r in cold_rows}
+        warm_t = {r["row_key"]: r["runtime_s"] for r in warm_rows}
+        assert cold_t == warm_t
+
+    def test_jsonl_streaming(self, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        rows, _ = run_sweep(
+            make_specs(2), ["sputnik"], V100, n=32, workers=1, out_path=out
+        )
+        lines = [json.loads(l) for l in out.read_text().splitlines()]
+        assert len(lines) == len(rows) == 2
+        assert {l["row_key"] for l in lines} == {r["row_key"] for r in rows}
+
+    def test_resume_skips_done_rows(self, tmp_path):
+        specs = make_specs(4)
+        out = tmp_path / "rows.jsonl"
+        all_rows, _ = run_sweep(
+            specs, ["sputnik"], V100, n=32, workers=1, out_path=out
+        )
+        # Simulate an interrupted run: keep only the first two rows.
+        lines = out.read_text().splitlines()
+        out.write_text("\n".join(lines[:2]) + "\n")
+        rows, report = run_sweep(
+            specs, ["sputnik"], V100, n=32, workers=1, out_path=out,
+            resume=True,
+        )
+        assert report.resumed == 2
+        assert report.measured == 2
+        assert len(rows) == 4
+        assert {r["row_key"] for r in rows} == {r["row_key"] for r in all_rows}
+        # The JSONL now holds the full result set again.
+        final = [json.loads(l) for l in out.read_text().splitlines()]
+        assert len(final) == 4
+
+    def test_resume_tolerates_truncated_trailing_line(self, tmp_path):
+        specs = make_specs(2)
+        out = tmp_path / "rows.jsonl"
+        run_sweep(specs, ["sputnik"], V100, n=32, workers=1, out_path=out)
+        with out.open("a") as fh:
+            fh.write('{"row_key": "half-written')  # kill -9 mid-append
+        rows, report = run_sweep(
+            specs, ["sputnik"], V100, n=32, workers=1, out_path=out,
+            resume=True,
+        )
+        assert report.resumed == 2
+        assert len(rows) == 2
+
+    def test_fresh_run_truncates_stale_output(self, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        out.write_text('{"row_key": "stale"}\n')
+        rows, _ = run_sweep(
+            make_specs(1), ["sputnik"], V100, n=32, workers=1, out_path=out
+        )
+        lines = out.read_text().splitlines()
+        assert len(lines) == len(rows) == 1
+        assert json.loads(lines[0])["row_key"] != "stale"
+
+    def test_failed_kernel_becomes_failed_row(self, monkeypatch):
+        def boom(a, n, device, config=None):
+            raise RuntimeError("synthetic kernel failure")
+
+        monkeypatch.setitem(sweep_mod.SPMM_KERNELS, "sputnik", boom)
+        rows, report = run_sweep(
+            make_specs(2), ["sputnik", "dense"], V100, n=32, workers=1
+        )
+        assert len(rows) == 4
+        assert report.failed == 2
+        failed = [r for r in rows if r["status"] == "failed"]
+        assert all(r["kernel"] == "sputnik" for r in failed)
+        assert all("synthetic kernel failure" in r["error"] for r in failed)
+
+    def test_failed_rows_not_persisted(self, tmp_path, monkeypatch):
+        """A failure must be retried on the next run, not served from disk."""
+        def boom(a, n, device, config=None):
+            raise RuntimeError("flaky")
+
+        store = tmp_path / "store"
+        monkeypatch.setitem(sweep_mod.SPMM_KERNELS, "sputnik", boom)
+        _, first = run_sweep(
+            make_specs(1), ["sputnik"], V100, n=32, workers=1,
+            store_path=store,
+        )
+        assert first.failed == 1
+        monkeypatch.undo()
+        rows, second = run_sweep(
+            make_specs(1), ["sputnik"], V100, n=32, workers=1,
+            store_path=store,
+        )
+        assert second.failed == 0
+        assert second.measured == 1
+        assert rows[0]["status"] == "ok"
+
+    def test_chunking_keeps_spec_groups_together(self):
+        tasks = build_tasks(make_specs(3), ["sputnik", "dense"], n=32)
+        chunks = sweep_mod._chunk_tasks(tasks, chunk_size=3)
+        for chunk in chunks:
+            specs_in_chunk = [t.spec.name for t in chunk]
+            # A spec's tasks never straddle a chunk boundary.
+            for other in chunks:
+                if other is not chunk:
+                    assert not set(specs_in_chunk) & {
+                        t.spec.name for t in other
+                    }
+
+
+class TestRunSweepParallel:
+    def test_parallel_matches_sequential(self, tmp_path):
+        specs = make_specs(4)
+        seq_rows, _ = run_sweep(specs, ["sputnik"], V100, n=32, workers=1)
+        par_rows, report = run_sweep(
+            specs, ["sputnik"], V100, n=32, workers=2, chunk_size=1,
+            store_path=tmp_path / "store",
+        )
+        assert report.workers == 2
+        seq = {r["row_key"]: r["runtime_s"] for r in seq_rows}
+        par = {r["row_key"]: r["runtime_s"] for r in par_rows}
+        assert seq == par
