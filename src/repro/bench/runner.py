@@ -9,7 +9,8 @@ kernels on one topology — hit the per-device plan cache.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Callable
 
 from .. import ops
@@ -101,6 +102,12 @@ class BenchRow:
     when the kernel raised — a SuiteSparse-scale sweep must survive one
     pathological matrix instead of aborting, so failures become rows
     (``runtime_s`` is NaN, ``error`` holds the classified exception).
+
+    ``runtime_s`` is *simulated device* time; ``wall_s`` is the harness
+    wall-clock the measurement itself took (planning + cost model), and
+    ``telemetry`` is the context's aggregate counter delta attributable to
+    this row (launches, cache traffic, simulated seconds) — so a slow row
+    is diagnosable as plan-build cost vs. cache churn after the fact.
     """
 
     problem: str
@@ -113,6 +120,8 @@ class BenchRow:
     flops: float
     status: str = "ok"
     error: str = ""
+    wall_s: float = 0.0
+    telemetry: dict[str, int | float] = field(default_factory=dict)
 
     @property
     def failed(self) -> bool:
@@ -125,10 +134,25 @@ class BenchRow:
         return self.flops / self.runtime_s
 
 
+def _telemetry_totals(ctx) -> dict[str, int | float]:
+    """The aggregate counters a per-row delta is computed over."""
+    t = ctx.telemetry
+    return {
+        "launches": t.launches,
+        "cache_hits": t.cache_hits,
+        "cache_misses": t.cache_misses,
+        "simulated_seconds": t.simulated_seconds,
+    }
+
+
 def _measure(
     timer, label: str, name: str, matrix: CSRMatrix, dim: int, device
 ) -> BenchRow:
-    """Run one timer, converting a raised kernel failure into a failed row."""
+    """Run one timer, converting a raised kernel failure into a failed row.
+
+    Each row records its wall-clock duration and the delta of the shared
+    context's aggregate telemetry across the call.
+    """
     base = dict(
         problem=label,
         kernel=name,
@@ -138,16 +162,30 @@ def _measure(
         nnz=matrix.nnz,
         flops=2.0 * matrix.nnz * dim,
     )
+    ctx = ops.default_context(device)
+    before = _telemetry_totals(ctx)
+    start = time.perf_counter()
     try:
         result = timer(matrix, dim, device)
     except Exception as exc:  # noqa: BLE001 - the sweep must keep going
+        wall_s = time.perf_counter() - start
+        after = _telemetry_totals(ctx)
         return BenchRow(
             runtime_s=float("nan"),
             status="failed",
             error=f"{type(exc).__name__}: {exc}",
+            wall_s=wall_s,
+            telemetry={k: after[k] - before[k] for k in after},
             **base,
         )
-    return BenchRow(runtime_s=result.runtime_s, **base)
+    wall_s = time.perf_counter() - start
+    after = _telemetry_totals(ctx)
+    return BenchRow(
+        runtime_s=result.runtime_s,
+        wall_s=wall_s,
+        telemetry={k: after[k] - before[k] for k in after},
+        **base,
+    )
 
 
 def run_spmm_suite(

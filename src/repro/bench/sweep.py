@@ -111,6 +111,10 @@ def build_tasks(
 #: reuses the same mechanism.
 _WORKER_CONTEXTS: dict[tuple, "ops.ExecutionContext"] = {}
 
+#: Per-process tracing state for traced sweeps: (device, store path) ->
+#: (Tracer, PhaseProfiler). Built lazily on the first traced chunk.
+_WORKER_TRACERS: dict[tuple, tuple] = {}
+
 
 def _worker_context(
     device: DeviceSpec, store_path: str | None
@@ -119,10 +123,13 @@ def _worker_context(
     ctx = _WORKER_CONTEXTS.get(key)
     if ctx is None:
         ctx = ops.ExecutionContext(device, store=store_path)
-        # Bench timers resolve the implicit default context, so the sweep's
-        # store-backed context must be installed as that default.
-        ops.set_default_context(ctx)
         _WORKER_CONTEXTS[key] = ctx
+    # Bench timers resolve the implicit default context, so the sweep's
+    # store-backed context must be installed as that default — on every
+    # chunk, not just the first: a reset_default_contexts() between sweeps
+    # would otherwise leave timers dispatching through a fresh untraced
+    # context while this one (and its tracer) sits idle.
+    ops.set_default_context(ctx)
     return ctx
 
 
@@ -131,20 +138,65 @@ def _init_worker(device: DeviceSpec, store_path: str | None) -> None:
     _worker_context(device, store_path)
 
 
+def reset_worker_state() -> None:
+    """Drop this process's cached sweep contexts and tracers.
+
+    Long-lived processes (tests, benchmarks) that run several sweeps and
+    want each to start cold — empty plan cache, fresh tracer — call this
+    between runs. Pool workers never need it: they are created per sweep.
+    Detaches every cached :class:`PhaseProfiler` from the global completion
+    observers so stale tracers stop collecting launches.
+    """
+    for _tracer, profiler in _WORKER_TRACERS.values():
+        profiler.stop()
+    _WORKER_TRACERS.clear()
+    _WORKER_CONTEXTS.clear()
+
+
 def _row_store_key(device: DeviceSpec, task: SweepTask) -> tuple:
     return ("sweep_row", device, repr(task.spec), task.kernel, task.n)
 
 
+def _worker_tracer(ctx, key: tuple):
+    """This process's (tracer, profiler) pair for traced sweeps.
+
+    Built once per worker: the tracer attaches to the worker's context (so
+    every dispatch opens a span) and a :class:`PhaseProfiler` streams each
+    simulated launch into it as ``launch`` records.
+    """
+    pair = _WORKER_TRACERS.get(key)
+    if pair is None:
+        from ..obs.profiler import PhaseProfiler
+        from ..obs.tracing import Tracer
+
+        tracer = Tracer(process="sweep-worker")
+        profiler = PhaseProfiler(tracer=tracer, device=ctx.device).start()
+        ctx.attach_tracer(tracer)
+        pair = (tracer, profiler)
+        _WORKER_TRACERS[key] = pair
+    return pair
+
+
 def _run_chunk(
-    tasks: list[SweepTask], device: DeviceSpec, store_path: str | None
+    tasks: list[SweepTask],
+    device: DeviceSpec,
+    store_path: str | None,
+    trace: bool = False,
 ) -> tuple[list[dict], dict]:
     """Measure one chunk of tasks; returns (rows, counter deltas).
 
     Counters are *deltas* across this chunk — workers are long-lived and
     their stats are cumulative, so the parent sums deltas instead of
-    re-reading totals (which would double-count across chunks).
+    re-reading totals (which would double-count across chunks). With
+    ``trace=True`` the chunk's new trace records (each task wrapped in a
+    ``sweep.task`` span, plus per-launch phase records) ride back in
+    ``deltas["trace"]`` for the parent to merge into one stream.
     """
     ctx = _worker_context(device, store_path)
+    tracer = None
+    if trace:
+        tracer, _ = _worker_tracer(ctx, (device, store_path))
+        spans0, launches0 = len(tracer.spans), len(tracer.launches)
     store = ctx.store
     store_before = store.stats.as_dict() if store is not None else {}
     hits0, misses0 = ctx.telemetry.cache_hits, ctx.telemetry.cache_misses
@@ -168,9 +220,26 @@ def _run_chunk(
             if matrix is None:
                 matrix = spec.materialize()
             timer = SPMM_KERNELS[task.kernel]
-            row = asdict(
-                _measure(timer, spec.name, task.kernel, matrix, task.n, device)
-            )
+            if tracer is not None:
+                with tracer.span(
+                    "sweep.task",
+                    category="sweep",
+                    spec=spec.name,
+                    kernel=task.kernel,
+                    n=task.n,
+                ):
+                    row = asdict(
+                        _measure(
+                            timer, spec.name, task.kernel, matrix, task.n,
+                            device,
+                        )
+                    )
+            else:
+                row = asdict(
+                    _measure(
+                        timer, spec.name, task.kernel, matrix, task.n, device
+                    )
+                )
             if store is not None and row["status"] == "ok":
                 store.save(_row_store_key(device, task), dict(row))
             row["row_key"] = task.row_key
@@ -185,6 +254,12 @@ def _run_chunk(
             k: store_after[k] - store_before[k] for k in store_after
         },
     }
+    if tracer is not None:
+        deltas["trace"] = (
+            [tracer.meta_record()]
+            + [span.to_record() for span in tracer.spans[spans0:]]
+            + tracer.launches[launches0:]
+        )
     return rows, deltas
 
 
@@ -247,6 +322,7 @@ def run_sweep(
     store_path: str | Path | None = None,
     out_path: str | Path | None = None,
     resume: bool = False,
+    trace_path: str | Path | None = None,
 ) -> tuple[list[dict], SweepReport]:
     """Sweep ``kernels`` over ``specs`` on ``device``; returns (rows, report).
 
@@ -256,11 +332,26 @@ def run_sweep(
     - ``out_path`` streams rows to JSONL as chunks complete; with
       ``resume=True`` tasks whose ``row_key`` already appears there are
       skipped and the existing rows are returned alongside the new ones.
+    - ``trace_path`` captures a trace of the sweep to JSONL: every measured
+      task becomes a ``sweep.task`` span and every simulated launch a phase
+      record; worker records merge into the one file as chunks complete,
+      keeping their own pid rows (worker wall clocks have per-process
+      epochs, so cross-process alignment is approximate). Summarize it with
+      ``python -m repro.obs.report <trace_path>``.
     """
     tasks = build_tasks(specs, kernels, n=n)
     total = len(tasks)
     out_file = Path(out_path) if out_path is not None else None
     store_str = str(store_path) if store_path is not None else None
+    trace_file = Path(trace_path) if trace_path is not None else None
+    if trace_file is not None:
+        from ..obs.tracing import Tracer
+
+        # Fresh stream headed by the driver's meta record; worker records
+        # (each chunk ships its own meta) append as chunks complete.
+        trace_file.write_text(
+            json.dumps(Tracer(process="sweep-driver").meta_record()) + "\n"
+        )
 
     resumed_rows: list[dict] = []
     if out_file is not None and resume:
@@ -300,11 +391,17 @@ def run_sweep(
             with out_file.open("a") as fh:
                 for row in chunk_rows:
                     fh.write(json.dumps(row) + "\n")
+        trace_records = deltas.get("trace")
+        if trace_file is not None and trace_records:
+            with trace_file.open("a") as fh:
+                for record in trace_records:
+                    fh.write(json.dumps(record) + "\n")
 
+    trace = trace_file is not None
     start = time.perf_counter()
     if workers <= 1 or len(chunks) <= 1:
         for chunk in chunks:
-            _absorb(*_run_chunk(chunk, device, store_str))
+            _absorb(*_run_chunk(chunk, device, store_str, trace))
     else:
         with ProcessPoolExecutor(
             max_workers=workers,
@@ -312,7 +409,7 @@ def run_sweep(
             initargs=(device, store_str),
         ) as pool:
             futures = [
-                pool.submit(_run_chunk, chunk, device, store_str)
+                pool.submit(_run_chunk, chunk, device, store_str, trace)
                 for chunk in chunks
             ]
             for future in as_completed(futures):

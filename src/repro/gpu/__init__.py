@@ -8,7 +8,17 @@ run exactly in numpy.
 """
 
 from .device import GTX1080, V100, DeviceSpec, get_device
-from .executor import BlockCosts, ExecutionResult, KernelLaunch, execute
+from .executor import (
+    BlockCosts,
+    ExecutionResult,
+    KernelLaunch,
+    PhaseTimes,
+    execute,
+    register_completion_observer,
+    register_launch_observer,
+    unregister_completion_observer,
+    unregister_launch_observer,
+)
 from .memory import (
     VECTOR_WIDTHS,
     aligned_extent,
@@ -35,7 +45,12 @@ __all__ = [
     "BlockCosts",
     "KernelLaunch",
     "ExecutionResult",
+    "PhaseTimes",
     "execute",
+    "register_launch_observer",
+    "unregister_launch_observer",
+    "register_completion_observer",
+    "unregister_completion_observer",
     "BlockResources",
     "Occupancy",
     "compute_occupancy",

@@ -98,6 +98,67 @@ class KernelLaunch:
             raise ValueError("pipeline_efficiency must be in (0, 1]")
 
 
+#: Phase names, in attribution-priority order (ties go to the earliest).
+PHASE_NAMES = ("compute", "l1", "l2", "dram", "imbalance", "overhead")
+
+
+@dataclass(frozen=True)
+class PhaseTimes:
+    """Attribution of one launch's simulated runtime to kernel phases.
+
+    Each block's serial time is charged entirely to its bottleneck phase
+    (the roofline term that set its duration): ``compute`` (FMA issue /
+    instruction issue), ``l1`` (shared-memory/L1 data path), ``l2``, or
+    ``dram``. Dividing the per-phase busy time by the number of execution
+    slots gives the perfectly-balanced share of the makespan; whatever the
+    scheduler adds on top is ``imbalance`` (load-imbalance idle time,
+    Figure 7's quantity), and the fixed launch cost is ``overhead``.
+
+    Invariant: the six components sum to the launch's ``runtime_s`` exactly
+    (up to float rounding) — the report layer asserts this within 1%.
+    """
+
+    compute_s: float = 0.0
+    l1_s: float = 0.0
+    l2_s: float = 0.0
+    dram_s: float = 0.0
+    imbalance_s: float = 0.0
+    overhead_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.compute_s + self.l1_s + self.l2_s + self.dram_s
+            + self.imbalance_s + self.overhead_s
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "compute": self.compute_s,
+            "l1": self.l1_s,
+            "l2": self.l2_s,
+            "dram": self.dram_s,
+            "imbalance": self.imbalance_s,
+            "overhead": self.overhead_s,
+        }
+
+    def __add__(self, other: "PhaseTimes") -> "PhaseTimes":
+        return PhaseTimes(
+            compute_s=self.compute_s + other.compute_s,
+            l1_s=self.l1_s + other.l1_s,
+            l2_s=self.l2_s + other.l2_s,
+            dram_s=self.dram_s + other.dram_s,
+            imbalance_s=self.imbalance_s + other.imbalance_s,
+            overhead_s=self.overhead_s + other.overhead_s,
+        )
+
+    def with_overhead(self, seconds: float) -> "PhaseTimes":
+        """Copy with extra serial (non-kernel) time in the overhead phase."""
+        from dataclasses import replace
+
+        return replace(self, overhead_s=self.overhead_s + seconds)
+
+
 @dataclass
 class ExecutionResult:
     """Simulated outcome of one or more kernel launches."""
@@ -114,6 +175,9 @@ class ExecutionResult:
     schedule: ScheduleResult | None = None
     #: Individual launch results when this aggregates a multi-kernel op.
     children: list["ExecutionResult"] = field(default_factory=list)
+    #: Per-phase attribution of ``runtime_s`` (None for results built
+    #: outside the executor, e.g. unpickled from an old plan store).
+    phases: PhaseTimes | None = None
 
     @property
     def throughput_flops(self) -> float:
@@ -129,13 +193,24 @@ class ExecutionResult:
             raise ValueError("overhead must be non-negative")
         from dataclasses import replace
 
-        return replace(self, runtime_s=self.runtime_s + seconds)
+        phases = getattr(self, "phases", None)
+        return replace(
+            self,
+            runtime_s=self.runtime_s + seconds,
+            phases=phases.with_overhead(seconds) if phases is not None else None,
+        )
 
     @staticmethod
     def sequence(name: str, parts: list["ExecutionResult"]) -> "ExecutionResult":
         """Combine launches executed back-to-back (e.g. transpose + SDDMM)."""
         if not parts:
             raise ValueError("need at least one launch to sequence")
+        part_phases = [getattr(p, "phases", None) for p in parts]
+        phases = None
+        if all(p is not None for p in part_phases):
+            phases = part_phases[0]
+            for p in part_phases[1:]:
+                phases = phases + p
         return ExecutionResult(
             name=name,
             runtime_s=sum(p.runtime_s for p in parts),
@@ -147,6 +222,7 @@ class ExecutionResult:
             n_blocks=sum(p.n_blocks for p in parts),
             occupancy=parts[0].occupancy,
             children=list(parts),
+            phases=phases,
         )
 
 
@@ -173,6 +249,34 @@ def unregister_launch_observer(
     """Remove a previously installed launch observer (missing is a no-op)."""
     try:
         _LAUNCH_OBSERVERS.remove(observer)
+    except ValueError:
+        pass
+
+
+#: Observers called at the bottom of every :func:`execute` with
+#: ``(launch, device, result)`` — after scheduling, with the phase
+#: attribution attached. The observability layer's kernel-phase profiler
+#: registers here. Like launch observers, a raising completion observer
+#: propagates to the caller but never corrupts the observer list.
+_COMPLETION_OBSERVERS: list[
+    Callable[[KernelLaunch, DeviceSpec, ExecutionResult], None]
+] = []
+
+
+def register_completion_observer(
+    observer: Callable[[KernelLaunch, DeviceSpec, ExecutionResult], None],
+) -> None:
+    """Install a callback invoked after every simulated launch completes."""
+    if observer not in _COMPLETION_OBSERVERS:
+        _COMPLETION_OBSERVERS.append(observer)
+
+
+def unregister_completion_observer(
+    observer: Callable[[KernelLaunch, DeviceSpec, ExecutionResult], None],
+) -> None:
+    """Remove a completion observer (missing is a no-op)."""
+    try:
+        _COMPLETION_OBSERVERS.remove(observer)
     except ValueError:
         pass
 
@@ -211,7 +315,24 @@ def execute(launch: KernelLaunch, device: DeviceSpec) -> ExecutionResult:
     sched = simulate_schedule(serial, device, 1)
     runtime = sched.makespan + device.launch_overhead_s
 
-    return ExecutionResult(
+    # Phase attribution: charge each block's serial time to its bottleneck
+    # roofline term, normalized by the schedule's slot count; the makespan's
+    # excess over that balanced share is scheduler-imbalance idle time.
+    per_phase = np.stack([np.maximum(math_t, issue_t), smem_t, l2_t, dram_t])
+    bottleneck = np.argmax(per_phase, axis=0)
+    busy = np.bincount(bottleneck, weights=serial, minlength=4)
+    n_slots = device.num_sms  # simulate_schedule(serial, device, 1) slots
+    balanced = float(np.sum(serial)) / n_slots
+    phases = PhaseTimes(
+        compute_s=float(busy[0]) / n_slots,
+        l1_s=float(busy[1]) / n_slots,
+        l2_s=float(busy[2]) / n_slots,
+        dram_s=float(busy[3]) / n_slots,
+        imbalance_s=max(0.0, sched.makespan - balanced),
+        overhead_s=device.launch_overhead_s,
+    )
+
+    result = ExecutionResult(
         name=launch.name,
         runtime_s=runtime,
         flops=launch.flops,
@@ -222,4 +343,8 @@ def execute(launch: KernelLaunch, device: DeviceSpec) -> ExecutionResult:
         n_blocks=launch.n_blocks,
         occupancy=occ,
         schedule=sched,
+        phases=phases,
     )
+    for observer in tuple(_COMPLETION_OBSERVERS):
+        observer(launch, device, result)
+    return result

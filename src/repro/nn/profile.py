@@ -67,3 +67,61 @@ class Profile:
         for r in self.records:
             out[r.name] = out.get(r.name, 0.0) + r.runtime_s
         return out
+
+    def to_trace(self, name: str = "model", tracer=None):
+        """Lay the profiled kernels out on a simulated-device timeline.
+
+        Returns a ``clock="sim"`` :class:`~repro.obs.tracing.Tracer` (or
+        fills the one passed in): one root span covering the pass, one
+        child span per kernel laid back-to-back at their simulated
+        runtimes, and one ``launch`` record per kernel carrying its phase
+        attribution — so a model forward exports to Chrome trace / the
+        report CLI exactly like a live-traced sweep.
+        """
+        from ..obs.tracing import Tracer
+
+        if tracer is None:
+            tracer = Tracer(process=name, clock="sim")
+        root = tracer.add_complete_span(
+            name,
+            ts_s=0.0,
+            dur_s=self.runtime_s,
+            category="model",
+            sim_s=self.runtime_s,
+            kernels=len(self.records),
+            flops=self.flops,
+        )
+        cursor = 0.0
+        for result in self.records:
+            span = tracer.add_complete_span(
+                result.name,
+                ts_s=cursor,
+                dur_s=result.runtime_s,
+                category="kernel",
+                sim_s=result.runtime_s,
+                parent=root,
+                flops=result.flops,
+                n_blocks=result.n_blocks,
+            )
+            phases = getattr(result, "phases", None)
+            if phases is not None:
+                span.set(phases=phases.as_dict())
+                tracer.add_launch(
+                    {
+                        "name": result.name,
+                        "device": "",
+                        "runtime_s": result.runtime_s,
+                        "flops": result.flops,
+                        "dram_bytes": result.dram_bytes,
+                        "l2_bytes": result.l2_bytes,
+                        "n_blocks": result.n_blocks,
+                        "phases": phases.as_dict(),
+                        "imbalance": (
+                            result.schedule.imbalance
+                            if result.schedule is not None
+                            else 1.0
+                        ),
+                    }
+                )
+            cursor += result.runtime_s
+        return tracer

@@ -1,0 +1,61 @@
+"""Observability: tracing, metrics, and kernel-phase profiling.
+
+Three cooperating pieces (DESIGN.md Section 11):
+
+- :mod:`repro.obs.tracing` — hierarchical spans over wall *and* simulated
+  device time, exported as JSONL streams or Chrome-trace JSON;
+- :mod:`repro.obs.metrics` — a label-aware registry (counters, gauges,
+  histograms) that absorbs the dispatch layer's ``Telemetry`` counters via
+  pull-mode collectors, keeping ``telemetry_snapshot()`` as a shim;
+- :mod:`repro.obs.profiler` — per-launch phase attribution
+  (compute/L1/L2/DRAM/imbalance/overhead) and roofline points, hooked into
+  the executor's completion observers.
+
+``python -m repro.obs.report trace.jsonl`` summarizes a captured trace.
+"""
+
+from ..gpu.executor import PHASE_NAMES, PhaseTimes
+from .metrics import (
+    SIM_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bind_context_metrics,
+    bind_telemetry,
+)
+from .profiler import KernelStats, LaunchRecord, PhaseProfiler
+from .report import build_report, format_report
+from .tracing import (
+    NO_SPAN,
+    TRACE_SCHEMA_VERSION,
+    Span,
+    Tracer,
+    chrome_trace_from_records,
+    read_jsonl,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "Span",
+    "NO_SPAN",
+    "read_jsonl",
+    "chrome_trace_from_records",
+    "validate_chrome_trace",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "SIM_SECONDS_BUCKETS",
+    "bind_telemetry",
+    "bind_context_metrics",
+    "PhaseProfiler",
+    "LaunchRecord",
+    "KernelStats",
+    "PhaseTimes",
+    "PHASE_NAMES",
+    "build_report",
+    "format_report",
+]

@@ -1,0 +1,237 @@
+"""Kernel-phase profiling: per-launch attribution and roofline points.
+
+The executor attaches a :class:`~repro.gpu.executor.PhaseTimes` breakdown
+to every :class:`~repro.gpu.executor.ExecutionResult` (compute / L1 / L2 /
+DRAM / scheduler-imbalance idle / launch overhead — Section V's analysis
+quantities). A :class:`PhaseProfiler` hooks the executor's completion
+observers to collect those breakdowns across every simulated launch in a
+region::
+
+    with PhaseProfiler() as prof:
+        ops.spmm(a, b, V100)
+        ops.sddmm(x, y, mask, V100)
+    print(prof.summary())
+    points = prof.roofline(V100)
+
+Each launch also yields a roofline point (operational intensity vs.
+achieved FLOP/s against the device's memory and compute roofs), the
+nvprof-style evidence the paper's Figure 2/7 analysis is built on. When a
+:class:`~repro.obs.tracing.Tracer` is attached, every launch is appended
+to the trace stream as a ``launch`` record, so
+``python -m repro.obs.report trace.jsonl`` can rebuild the phase tables
+offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gpu.device import DeviceSpec
+from ..gpu.executor import (
+    ExecutionResult,
+    KernelLaunch,
+    PhaseTimes,
+    register_completion_observer,
+    unregister_completion_observer,
+)
+
+
+@dataclass
+class LaunchRecord:
+    """One simulated kernel launch, as the profiler saw it."""
+
+    name: str
+    device: str
+    runtime_s: float
+    flops: float
+    dram_bytes: float
+    l2_bytes: float
+    n_blocks: int
+    phases: dict[str, float]
+    imbalance: float
+
+    @property
+    def intensity(self) -> float:
+        """Operational intensity in FLOPs per DRAM byte (inf if no DRAM)."""
+        if self.dram_bytes <= 0:
+            return float("inf")
+        return self.flops / self.dram_bytes
+
+    @property
+    def achieved_flops(self) -> float:
+        return self.flops / self.runtime_s if self.runtime_s > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "device": self.device,
+            "runtime_s": self.runtime_s,
+            "flops": self.flops,
+            "dram_bytes": self.dram_bytes,
+            "l2_bytes": self.l2_bytes,
+            "n_blocks": self.n_blocks,
+            "phases": dict(self.phases),
+            "imbalance": self.imbalance,
+        }
+
+
+@dataclass
+class KernelStats:
+    """Aggregated phase attribution for one kernel name."""
+
+    launches: int = 0
+    runtime_s: float = 0.0
+    flops: float = 0.0
+    dram_bytes: float = 0.0
+    phases: PhaseTimes = field(default_factory=PhaseTimes)
+
+    def absorb(self, record: LaunchRecord) -> None:
+        self.launches += 1
+        self.runtime_s += record.runtime_s
+        self.flops += record.flops
+        self.dram_bytes += record.dram_bytes
+        self.phases = self.phases + PhaseTimes(
+            compute_s=record.phases["compute"],
+            l1_s=record.phases["l1"],
+            l2_s=record.phases["l2"],
+            dram_s=record.phases["dram"],
+            imbalance_s=record.phases["imbalance"],
+            overhead_s=record.phases["overhead"],
+        )
+
+
+class PhaseProfiler:
+    """Collects per-launch phase attributions via the executor hooks.
+
+    Use as a context manager (registration is scoped and exception-safe) or
+    via explicit :meth:`start` / :meth:`stop`. ``tracer`` (optional) gets a
+    ``launch`` record per simulated launch; ``device`` (optional) filters
+    collection to launches costed on that device.
+    """
+
+    def __init__(self, tracer=None, device: DeviceSpec | None = None) -> None:
+        self.tracer = tracer
+        self.device = device
+        self.records: list[LaunchRecord] = []
+        self._active = False
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "PhaseProfiler":
+        if not self._active:
+            register_completion_observer(self._on_complete)
+            self._active = True
+        return self
+
+    def stop(self) -> "PhaseProfiler":
+        if self._active:
+            unregister_completion_observer(self._on_complete)
+            self._active = False
+        return self
+
+    def __enter__(self) -> "PhaseProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    # -- collection ------------------------------------------------------
+    def _on_complete(
+        self, launch: KernelLaunch, device: DeviceSpec, result: ExecutionResult
+    ) -> None:
+        if self.device is not None and device != self.device:
+            return
+        phases = result.phases or PhaseTimes(overhead_s=result.runtime_s)
+        record = LaunchRecord(
+            name=result.name,
+            device=device.name,
+            runtime_s=result.runtime_s,
+            flops=result.flops,
+            dram_bytes=result.dram_bytes,
+            l2_bytes=result.l2_bytes,
+            n_blocks=result.n_blocks,
+            phases=phases.as_dict(),
+            imbalance=(
+                result.schedule.imbalance if result.schedule is not None else 1.0
+            ),
+        )
+        self.records.append(record)
+        if self.tracer is not None:
+            self.tracer.add_launch(record.as_dict())
+
+    # -- analysis --------------------------------------------------------
+    def by_kernel(self) -> dict[str, KernelStats]:
+        out: dict[str, KernelStats] = {}
+        for record in self.records:
+            out.setdefault(record.name, KernelStats()).absorb(record)
+        return out
+
+    def roofline(self, device: DeviceSpec) -> list[dict]:
+        """One roofline point per kernel name (aggregated over launches)."""
+        points = []
+        for name, stats in sorted(self.by_kernel().items()):
+            if stats.runtime_s <= 0:
+                continue
+            achieved = stats.flops / stats.runtime_s
+            if stats.dram_bytes > 0:
+                intensity = stats.flops / stats.dram_bytes
+                memory_roof = intensity * device.effective_dram_bandwidth
+            else:
+                intensity = float("inf")
+                memory_roof = device.fp32_peak_flops
+            roof = min(device.fp32_peak_flops, memory_roof)
+            points.append(
+                {
+                    "kernel": name,
+                    "intensity_flops_per_byte": intensity,
+                    "achieved_flops": achieved,
+                    "roof_flops": roof,
+                    "bound": (
+                        "memory"
+                        if memory_roof < device.fp32_peak_flops
+                        else "compute"
+                    ),
+                    "roof_fraction": achieved / roof if roof > 0 else 0.0,
+                }
+            )
+        return points
+
+    def report(self, device: DeviceSpec | None = None) -> dict:
+        """Machine-readable profile: per-kernel phase totals + rooflines."""
+        kernels = {}
+        for name, stats in sorted(self.by_kernel().items()):
+            phase_dict = stats.phases.as_dict()
+            kernels[name] = {
+                "launches": stats.launches,
+                "runtime_s": stats.runtime_s,
+                "flops": stats.flops,
+                "dram_bytes": stats.dram_bytes,
+                "phases_s": phase_dict,
+                "phase_fractions": {
+                    k: (v / stats.runtime_s if stats.runtime_s > 0 else 0.0)
+                    for k, v in phase_dict.items()
+                },
+            }
+        out = {"launches": len(self.records), "kernels": kernels}
+        if device is not None:
+            out["roofline"] = self.roofline(device)
+        return out
+
+    def summary(self) -> str:
+        """Text table: one line per kernel with its phase split."""
+        lines = [
+            f"{'kernel':28s} {'launches':>8s} {'sim time':>10s} "
+            f"{'compute':>8s} {'l1':>6s} {'l2':>6s} {'dram':>6s} "
+            f"{'imbal':>6s} {'ovh':>6s}"
+        ]
+        for name, stats in sorted(self.by_kernel().items()):
+            total = stats.runtime_s or 1.0
+            p = stats.phases
+            lines.append(
+                f"{name[:28]:28s} {stats.launches:8d} "
+                f"{stats.runtime_s * 1e6:9.1f}u "
+                f"{p.compute_s / total:7.1%} {p.l1_s / total:5.1%} "
+                f"{p.l2_s / total:5.1%} {p.dram_s / total:5.1%} "
+                f"{p.imbalance_s / total:5.1%} {p.overhead_s / total:5.1%}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,230 @@
+"""Offline trace reporting: ``python -m repro.obs.report trace.jsonl``.
+
+Consumes the JSONL stream written by :meth:`repro.obs.tracing.Tracer.
+write_jsonl` (and appended to by sweep workers) and prints:
+
+- per-category span rollups (count, wall time, simulated time);
+- the top spans by wall duration;
+- per-kernel phase attribution tables rebuilt from ``launch`` records,
+  with roofline points against the recorded device's roofs.
+
+``--json`` emits the same content as one JSON object for scripting (the
+CI ``obs-smoke`` job archives it next to the trace).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Iterable
+
+from .tracing import TRACE_SCHEMA_VERSION, read_jsonl
+
+PHASE_KEYS = ("compute", "l1", "l2", "dram", "imbalance", "overhead")
+
+
+def rollup_spans(records: Iterable[dict]) -> dict[str, dict[str, float]]:
+    """Aggregate span records by category: count, wall seconds, sim seconds."""
+    out: dict[str, dict[str, float]] = {}
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        cat = str(record.get("cat", "span"))
+        entry = out.setdefault(
+            cat, {"count": 0, "wall_s": 0.0, "sim_s": 0.0, "errors": 0}
+        )
+        entry["count"] += 1
+        entry["wall_s"] += float(record.get("dur", 0.0))
+        entry["sim_s"] += float(record.get("sim_s", 0.0))
+        if (record.get("args") or {}).get("error"):
+            entry["errors"] += 1
+    return out
+
+
+def rollup_launches(records: Iterable[dict]) -> dict[str, dict[str, Any]]:
+    """Aggregate launch records by kernel name: phase sums and totals."""
+    out: dict[str, dict[str, Any]] = {}
+    for record in records:
+        if record.get("type") != "launch":
+            continue
+        name = str(record.get("name", "?"))
+        entry = out.setdefault(
+            name,
+            {
+                "launches": 0,
+                "runtime_s": 0.0,
+                "flops": 0.0,
+                "dram_bytes": 0.0,
+                "device": record.get("device", "?"),
+                "phases_s": {k: 0.0 for k in PHASE_KEYS},
+            },
+        )
+        entry["launches"] += 1
+        entry["runtime_s"] += float(record.get("runtime_s", 0.0))
+        entry["flops"] += float(record.get("flops", 0.0))
+        entry["dram_bytes"] += float(record.get("dram_bytes", 0.0))
+        phases = record.get("phases") or {}
+        for key in PHASE_KEYS:
+            entry["phases_s"][key] += float(phases.get(key, 0.0))
+    return out
+
+
+def _roofline(kernels: dict[str, dict[str, Any]]) -> list[dict[str, Any]]:
+    """Roofline points per kernel against each record's own device roofs."""
+    from ..gpu.device import get_device
+
+    points: list[dict[str, Any]] = []
+    for name, entry in sorted(kernels.items()):
+        if entry["runtime_s"] <= 0:
+            continue
+        achieved = entry["flops"] / entry["runtime_s"]
+        point: dict[str, Any] = {
+            "kernel": name,
+            "achieved_flops": achieved,
+            "intensity_flops_per_byte": (
+                entry["flops"] / entry["dram_bytes"]
+                if entry["dram_bytes"] > 0
+                else None
+            ),
+        }
+        try:
+            device = get_device(str(entry["device"]))
+        except (KeyError, ValueError):
+            device = None
+        if device is not None and entry["dram_bytes"] > 0:
+            memory_roof = (
+                entry["flops"] / entry["dram_bytes"]
+            ) * device.effective_dram_bandwidth
+            roof = min(device.fp32_peak_flops, memory_roof)
+            point["roof_flops"] = roof
+            point["bound"] = (
+                "memory" if memory_roof < device.fp32_peak_flops else "compute"
+            )
+            point["roof_fraction"] = achieved / roof if roof > 0 else 0.0
+        points.append(point)
+    return points
+
+
+def build_report(records: list[dict], top: int = 10) -> dict[str, Any]:
+    """Assemble the full report object from loaded trace records."""
+    meta = next((r for r in records if r.get("type") == "meta"), {})
+    spans = [r for r in records if r.get("type") == "span"]
+    kernels = rollup_launches(records)
+    top_spans = sorted(
+        spans, key=lambda r: float(r.get("dur", 0.0)), reverse=True
+    )[:top]
+    return {
+        "schema": meta.get("schema", TRACE_SCHEMA_VERSION),
+        "clock": meta.get("clock", "wall"),
+        "process": meta.get("process", "repro"),
+        "n_records": len(records),
+        "n_spans": len(spans),
+        "categories": rollup_spans(records),
+        "kernels": kernels,
+        "roofline": _roofline(kernels),
+        "top_spans": [
+            {
+                "name": r.get("name"),
+                "cat": r.get("cat"),
+                "wall_s": float(r.get("dur", 0.0)),
+                "sim_s": float(r.get("sim_s", 0.0)),
+                "args": r.get("args") or {},
+            }
+            for r in top_spans
+        ],
+    }
+
+
+def format_report(report: dict[str, Any]) -> str:
+    """Human-readable text rendering of :func:`build_report` output."""
+    lines = [
+        f"trace: schema v{report['schema']} clock={report['clock']} "
+        f"process={report['process']} "
+        f"({report['n_spans']} spans, {report['n_records']} records)",
+        "",
+        "span categories:",
+        f"  {'category':20s} {'count':>7s} {'wall':>10s} "
+        f"{'sim':>10s} {'errors':>7s}",
+    ]
+    for cat, entry in sorted(report["categories"].items()):
+        lines.append(
+            f"  {cat:20s} {entry['count']:7d} "
+            f"{entry['wall_s'] * 1e3:8.2f}ms "
+            f"{entry['sim_s'] * 1e3:8.3f}ms {entry['errors']:7d}"
+        )
+    if report["kernels"]:
+        lines += [
+            "",
+            "kernel phases (share of simulated time):",
+            f"  {'kernel':28s} {'launches':>8s} {'sim':>10s} "
+            f"{'compute':>8s} {'l1':>6s} {'l2':>6s} {'dram':>6s} "
+            f"{'imbal':>6s} {'ovh':>6s}",
+        ]
+        for name, entry in sorted(report["kernels"].items()):
+            total = entry["runtime_s"] or 1.0
+            p = entry["phases_s"]
+            lines.append(
+                f"  {name[:28]:28s} {entry['launches']:8d} "
+                f"{entry['runtime_s'] * 1e6:8.1f}us "
+                f"{p['compute'] / total:7.1%} {p['l1'] / total:5.1%} "
+                f"{p['l2'] / total:5.1%} {p['dram'] / total:5.1%} "
+                f"{p['imbalance'] / total:5.1%} {p['overhead'] / total:5.1%}"
+            )
+    if report["roofline"]:
+        lines += ["", "roofline:"]
+        for point in report["roofline"]:
+            intensity = point.get("intensity_flops_per_byte")
+            frac = point.get("roof_fraction")
+            lines.append(
+                f"  {point['kernel'][:28]:28s} "
+                f"{point['achieved_flops'] / 1e9:8.2f} GFLOP/s"
+                + (f" @ {intensity:6.2f} flop/B" if intensity else "")
+                + (
+                    f"  ({frac:.1%} of {point['bound']} roof)"
+                    if frac is not None
+                    else ""
+                )
+            )
+    if report["top_spans"]:
+        lines += ["", "top spans by wall time:"]
+        for span in report["top_spans"]:
+            lines.append(
+                f"  {span['name'][:40]:40s} [{span['cat']}] "
+                f"wall={span['wall_s'] * 1e3:.3f}ms "
+                f"sim={span['sim_s'] * 1e6:.1f}us"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarize a repro trace JSONL file.",
+    )
+    parser.add_argument("trace", help="path to a trace .jsonl file")
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, help="number of top spans to show"
+    )
+    args = parser.parse_args(argv)
+    try:
+        records = read_jsonl(args.trace)
+    except OSError as exc:
+        print(f"cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    if not records:
+        print(f"no trace records found in {args.trace}", file=sys.stderr)
+        return 1
+    report = build_report(records, top=args.top)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_report(report))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

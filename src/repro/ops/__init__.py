@@ -22,6 +22,7 @@ Example::
 """
 
 from .context import (
+    TELEMETRY_SCHEMA,
     ExecutionContext,
     OpStats,
     Telemetry,
@@ -66,6 +67,7 @@ __all__ = [
     "ExecutionContext",
     "Telemetry",
     "OpStats",
+    "TELEMETRY_SCHEMA",
     "default_context",
     "reset_default_contexts",
     "set_default_context",

@@ -39,10 +39,35 @@ from .store import PlanStore
 #: Valid config selectors for ops that resolve their own config.
 SELECTORS = ("heuristic", "oracle")
 
+#: The telemetry snapshot contract: every per-(op, backend) counter and its
+#: value type. ``telemetry_snapshot()`` rows contain exactly these keys, and
+#: each value is exactly this Python type — counts are ``int`` (never
+#: float-drifted), accumulated times are ``float`` seconds. Tested in
+#: tests/test_obs.py; consumers may rely on it.
+TELEMETRY_SCHEMA: dict[str, type] = {
+    "launches": int,
+    "cache_hits": int,
+    "cache_misses": int,
+    "simulated_seconds": float,
+    "retries": int,
+    "fallbacks": int,
+    "degraded": int,
+    "failures": int,
+    "faults_injected": int,
+    "backoff_seconds": float,
+    "store_hits": int,
+    "store_misses": int,
+    "store_evictions": int,
+}
+
 
 @dataclass
 class OpStats:
-    """Running counters for one (op, backend) pair."""
+    """Running counters for one (op, backend) pair.
+
+    Fields mirror :data:`TELEMETRY_SCHEMA`: counts are ints, accumulated
+    times are float seconds.
+    """
 
     launches: int = 0
     cache_hits: int = 0
@@ -61,31 +86,36 @@ class OpStats:
     store_evictions: int = 0
 
     def as_dict(self) -> dict[str, int | float]:
+        """Snapshot row, coerced to the :data:`TELEMETRY_SCHEMA` types."""
         return {
-            "launches": self.launches,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "simulated_seconds": self.simulated_seconds,
-            "retries": self.retries,
-            "fallbacks": self.fallbacks,
-            "degraded": self.degraded,
-            "failures": self.failures,
-            "faults_injected": self.faults_injected,
-            "backoff_seconds": self.backoff_seconds,
-            "store_hits": self.store_hits,
-            "store_misses": self.store_misses,
-            "store_evictions": self.store_evictions,
+            name: kind(getattr(self, name))
+            for name, kind in TELEMETRY_SCHEMA.items()
         }
 
 
 @dataclass
 class Telemetry:
-    """Per-context instrumentation, keyed by (op, backend)."""
+    """Per-context instrumentation, keyed by (op, backend).
+
+    The live :class:`OpStats` objects in ``stats`` are the write store for
+    the hot dispatch path. A :class:`~repro.obs.metrics.MetricsRegistry`
+    reads them through a pull-mode collector (see
+    :func:`repro.obs.metrics.bind_telemetry`), so :meth:`snapshot` remains
+    the stable compatibility surface while the registry supersedes it.
+    """
 
     stats: dict[tuple[str, str], OpStats] = field(default_factory=dict)
+    #: Optional :class:`~repro.obs.metrics.Histogram` labeled (op, backend)
+    #: fed one observation per recorded launch.
+    sim_histogram: object | None = field(default=None, repr=False)
 
     def _get(self, op: str, backend: str) -> OpStats:
         return self.stats.setdefault((op, backend), OpStats())
+
+    def attach_histogram(self, histogram) -> None:
+        """Feed simulated launch runtimes into an (op, backend)-labeled
+        histogram from now on (``None`` detaches)."""
+        self.sim_histogram = histogram
 
     def record_launch(
         self, op: str, backend: str, execution: ExecutionResult
@@ -93,6 +123,8 @@ class Telemetry:
         entry = self._get(op, backend)
         entry.launches += 1
         entry.simulated_seconds += execution.runtime_s
+        if self.sim_histogram is not None:
+            self.sim_histogram.labels(op, backend).observe(execution.runtime_s)
 
     def record_cache(self, op: str, backend: str, hit: bool) -> None:
         entry = self._get(op, backend)
@@ -144,7 +176,9 @@ class Telemetry:
         """Plain-dict copy of every counter, keyed ``"op/backend"``.
 
         The public read API: benchmarks and tests consume this instead of
-        reaching into the live ``stats`` mapping.
+        reaching into the live ``stats`` mapping. Every row carries exactly
+        the :data:`TELEMETRY_SCHEMA` keys with exactly its types (counts
+        are ``int``, accumulated times ``float`` seconds).
         """
         return {
             f"{op}/{backend}": stats.as_dict()
@@ -238,6 +272,7 @@ class ExecutionContext:
         device: DeviceSpec = V100,
         max_plans: int = DEFAULT_MAX_PLANS,
         store: PlanStore | str | Path | None = None,
+        tracer=None,
     ) -> None:
         self.device = device
         self.plans = PlanCache(max_plans)
@@ -255,6 +290,11 @@ class ExecutionContext:
         #: recent policy-dispatched call (cost-only calls have no result
         #: object to carry it).
         self.last_dispatch_report = None
+        #: Optional :class:`~repro.obs.tracing.Tracer`. When set, every
+        #: dispatched op opens a span and the plan cache/fallback policy
+        #: annotate it; when ``None``, dispatch pays one attribute check.
+        self.tracer = tracer
+        self._metrics = None
 
     def __repr__(self) -> str:
         return (
@@ -282,18 +322,25 @@ class ExecutionContext:
         corrupt *on-disk* entry is self-healing (evicted and rebuilt) and
         only surfaces in the ``store_evictions`` telemetry.
         """
+        span = self.tracer.current if self.tracer is not None else None
         value = self.plans.get(key)
         if value is not None:
             self.telemetry.record_cache(op, backend, True)
+            if span is not None:
+                span.set(plan_cache="hit", plan_source="memory")
             return value
         self.telemetry.record_cache(op, backend, False)
         if self.store is not None:
             stored, status = self.store.fetch((self.device,) + key)
             self.telemetry.record_store(op, backend, status)
             if stored is not None:
+                if span is not None:
+                    span.set(plan_cache="miss", plan_source="store")
                 self.plans.put(key, stored)
                 return stored
         value = build()
+        if span is not None:
+            span.set(plan_cache="miss", plan_source="built")
         self.plans.put(key, value)
         if self.store is not None:
             self.store.save((self.device,) + key, value)
@@ -303,12 +350,39 @@ class ExecutionContext:
     # Telemetry API (benchmarks/tests use this, not the raw counters)
     # ------------------------------------------------------------------
     def telemetry_snapshot(self) -> dict[str, dict[str, int | float]]:
-        """Plain-dict copy of every per-(op, backend) counter."""
+        """Plain-dict copy of every per-(op, backend) counter.
+
+        Rows follow :data:`TELEMETRY_SCHEMA` exactly (keys and value
+        types). This remains the compatibility surface over the metrics
+        registry — see :meth:`metrics_snapshot` for the superset view.
+        """
         return self.telemetry.snapshot()
 
     def reset_telemetry(self) -> None:
-        """Zero all telemetry counters (plan cache is kept)."""
+        """Zero all telemetry counters *and* the attached store's counters
+        in one call, so snapshot deltas never mix epochs (plan caches and
+        stored plans are kept)."""
         self.telemetry.reset()
+        if self.store is not None:
+            self.store.reset_stats()
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach (or detach, with ``None``) a tracer to this context."""
+        self.tracer = tracer
+
+    @property
+    def metrics(self):
+        """Lazily-built :class:`~repro.obs.metrics.MetricsRegistry` bound
+        to this context's telemetry, plan cache, and plan store."""
+        if self._metrics is None:
+            from ..obs.metrics import MetricsRegistry, bind_context_metrics
+
+            self._metrics = bind_context_metrics(MetricsRegistry(), self)
+        return self._metrics
+
+    def metrics_snapshot(self) -> dict:
+        """Snapshot of the bound metrics registry (labeled samples)."""
+        return self.metrics.snapshot()
 
     # ------------------------------------------------------------------
     # Config selection (cached per topology)

@@ -26,6 +26,13 @@ zero-overhead legacy path. Chains, ``validate=True``, or an attached
 :func:`repro.reliability.policy.run_with_policy`; the resulting
 :class:`~repro.reliability.policy.DispatchReport` rides on
 ``result.reliability`` (and ``context.last_dispatch_report``).
+
+When the context carries a :class:`~repro.obs.tracing.Tracer`, every
+dispatch opens an ``op``-category span annotated with the backend chosen,
+plan-cache outcome (hit/miss + memory/store/built tier, set by the plan
+cache), simulated seconds, and any reliability events (retry / fallback /
+degraded, set by the policy loop). With no tracer attached, the only cost
+is one attribute check and the shared no-op span.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from ..core.config import SddmmConfig, SpmmConfig
 from ..core.types import KernelResult
 from ..gpu.device import DeviceSpec
 from ..gpu.executor import ExecutionResult
+from ..obs.tracing import NO_SPAN
 from ..reliability.policy import as_policy, run_with_policy
 from ..sparse.csc import CSCMatrix
 from ..sparse.csr import CSRMatrix
@@ -62,6 +70,21 @@ def _fast_path(ctx: ExecutionContext, backend, validate: bool) -> bool:
     return isinstance(backend, str) and not validate and ctx.injector is None
 
 
+def _op_span(ctx: ExecutionContext, op: str, backend):
+    """A dispatch span when the context is traced, else the no-op span."""
+    tracer = ctx.tracer
+    if tracer is None:
+        return NO_SPAN
+    requested = (
+        backend
+        if isinstance(backend, str)
+        else "/".join(as_policy(backend).backends)
+    )
+    return tracer.span(
+        op, category="op", backend=requested, device=ctx.device.name
+    )
+
+
 def _policy_dispatch(
     ctx: ExecutionContext,
     op: str,
@@ -72,6 +95,7 @@ def _policy_dispatch(
     operands=(),
     fp32_call=None,
     cost: bool = False,
+    span=NO_SPAN,
 ):
     """Route one op call through the reliability policy loop."""
     policy = as_policy(backend, validate=True if validate else None)
@@ -85,8 +109,18 @@ def _policy_dispatch(
         registered=set(available(op)),
         exact_backends=exact_backends(op),
     )
-    used = ctx.last_dispatch_report.backend_used
-    ctx.telemetry.record_launch(op, used, result if cost else result.execution)
+    report = ctx.last_dispatch_report
+    used = report.backend_used
+    execution = result if cost else result.execution
+    ctx.telemetry.record_launch(op, used, execution)
+    span.set(backend_used=used)
+    if not report.clean:
+        span.set(
+            retries=report.retries,
+            fallbacks=report.fallbacks,
+            degraded=report.degraded,
+        )
+    span.add_sim(execution.runtime_s)
     return result
 
 
@@ -103,31 +137,33 @@ def spmm(
 ) -> KernelResult:
     """``C = A @ B`` with sparse ``A``: exact numerics + simulated cost."""
     ctx = resolve_context(context, device)
-    if _fast_path(ctx, backend, validate):
-        impl = get_impl("spmm", backend)
-        result = impl.run(ctx, a, b, config, selector)
-        ctx.telemetry.record_launch("spmm", backend, result.execution)
-        return result
+    with _op_span(ctx, "spmm", backend) as span:
+        if _fast_path(ctx, backend, validate):
+            impl = get_impl("spmm", backend)
+            result = impl.run(ctx, a, b, config, selector)
+            ctx.telemetry.record_launch("spmm", backend, result.execution)
+            span.add_sim(result.execution.runtime_s)
+            return result
 
-    primary = as_policy(backend).backends[0]
+        primary = as_policy(backend).backends[0]
 
-    def call(be: str) -> KernelResult:
-        # An explicit Sputnik config does not transfer to other backends.
-        cfg = config if be in (primary, "sputnik") else None
-        return get_impl("spmm", be).run(ctx, a, b, cfg, selector)
+        def call(be: str) -> KernelResult:
+            # An explicit Sputnik config does not transfer to other backends.
+            cfg = config if be in (primary, "sputnik") else None
+            return get_impl("spmm", be).run(ctx, a, b, cfg, selector)
 
-    fp32_call = None
-    if a.values.dtype == np.float16:
+        fp32_call = None
+        if a.values.dtype == np.float16:
 
-        def fp32_call(be: str) -> KernelResult:
-            a32 = a.astype(np.float32)
-            b32 = np.asarray(b, dtype=np.float32)
-            return get_impl("spmm", be).run(ctx, a32, b32, None, selector)
+            def fp32_call(be: str) -> KernelResult:
+                a32 = a.astype(np.float32)
+                b32 = np.asarray(b, dtype=np.float32)
+                return get_impl("spmm", be).run(ctx, a32, b32, None, selector)
 
-    return _policy_dispatch(
-        ctx, "spmm", backend, validate, call,
-        operands=(a,), fp32_call=fp32_call,
-    )
+        return _policy_dispatch(
+            ctx, "spmm", backend, validate, call,
+            operands=(a,), fp32_call=fp32_call, span=span,
+        )
 
 
 def spmm_cost(
@@ -144,22 +180,25 @@ def spmm_cost(
 ) -> ExecutionResult:
     """Simulated SpMM cost only (``n`` = dense batch columns)."""
     ctx = resolve_context(context, device)
-    if _fast_path(ctx, backend, validate):
-        impl = get_impl("spmm", backend)
-        result = impl.cost(ctx, a, n, config, selector, **kwargs)
-        ctx.telemetry.record_launch("spmm", backend, result)
-        return result
+    with _op_span(ctx, "spmm", backend) as span:
+        if _fast_path(ctx, backend, validate):
+            impl = get_impl("spmm", backend)
+            result = impl.cost(ctx, a, n, config, selector, **kwargs)
+            ctx.telemetry.record_launch("spmm", backend, result)
+            span.add_sim(result.runtime_s)
+            return result
 
-    primary = as_policy(backend).backends[0]
+        primary = as_policy(backend).backends[0]
 
-    def call(be: str) -> ExecutionResult:
-        cfg = config if be in (primary, "sputnik") else None
-        extra = kwargs if be == primary else {}
-        return get_impl("spmm", be).cost(ctx, a, n, cfg, selector, **extra)
+        def call(be: str) -> ExecutionResult:
+            cfg = config if be in (primary, "sputnik") else None
+            extra = kwargs if be == primary else {}
+            return get_impl("spmm", be).cost(ctx, a, n, cfg, selector, **extra)
 
-    return _policy_dispatch(
-        ctx, "spmm", backend, validate, call, operands=(a,), cost=True
-    )
+        return _policy_dispatch(
+            ctx, "spmm", backend, validate, call,
+            operands=(a,), cost=True, span=span,
+        )
 
 
 def sddmm(
@@ -175,30 +214,32 @@ def sddmm(
 ) -> KernelResult:
     """``(lhs @ rhs^T) ∘ I[mask]``: exact numerics + simulated cost."""
     ctx = resolve_context(context, device)
-    if _fast_path(ctx, backend, validate):
-        impl = get_impl("sddmm", backend)
-        result = impl.run(ctx, lhs, rhs, mask, config)
-        ctx.telemetry.record_launch("sddmm", backend, result.execution)
-        return result
+    with _op_span(ctx, "sddmm", backend) as span:
+        if _fast_path(ctx, backend, validate):
+            impl = get_impl("sddmm", backend)
+            result = impl.run(ctx, lhs, rhs, mask, config)
+            ctx.telemetry.record_launch("sddmm", backend, result.execution)
+            span.add_sim(result.execution.runtime_s)
+            return result
 
-    primary = as_policy(backend).backends[0]
+        primary = as_policy(backend).backends[0]
 
-    def call(be: str) -> KernelResult:
-        cfg = config if be in (primary, "sputnik") else None
-        return get_impl("sddmm", be).run(ctx, lhs, rhs, mask, cfg)
+        def call(be: str) -> KernelResult:
+            cfg = config if be in (primary, "sputnik") else None
+            return get_impl("sddmm", be).run(ctx, lhs, rhs, mask, cfg)
 
-    fp32_call = None
-    if mask.values.dtype == np.float16:
+        fp32_call = None
+        if mask.values.dtype == np.float16:
 
-        def fp32_call(be: str) -> KernelResult:
-            return get_impl("sddmm", be).run(
-                ctx, lhs, rhs, mask.astype(np.float32), None
-            )
+            def fp32_call(be: str) -> KernelResult:
+                return get_impl("sddmm", be).run(
+                    ctx, lhs, rhs, mask.astype(np.float32), None
+                )
 
-    return _policy_dispatch(
-        ctx, "sddmm", backend, validate, call,
-        operands=(mask,), fp32_call=fp32_call,
-    )
+        return _policy_dispatch(
+            ctx, "sddmm", backend, validate, call,
+            operands=(mask,), fp32_call=fp32_call, span=span,
+        )
 
 
 def sddmm_cost(
@@ -213,21 +254,24 @@ def sddmm_cost(
 ) -> ExecutionResult:
     """Simulated SDDMM cost only (``k`` = dot-product inner dimension)."""
     ctx = resolve_context(context, device)
-    if _fast_path(ctx, backend, validate):
-        impl = get_impl("sddmm", backend)
-        result = impl.cost(ctx, mask, k, config)
-        ctx.telemetry.record_launch("sddmm", backend, result)
-        return result
+    with _op_span(ctx, "sddmm", backend) as span:
+        if _fast_path(ctx, backend, validate):
+            impl = get_impl("sddmm", backend)
+            result = impl.cost(ctx, mask, k, config)
+            ctx.telemetry.record_launch("sddmm", backend, result)
+            span.add_sim(result.runtime_s)
+            return result
 
-    primary = as_policy(backend).backends[0]
+        primary = as_policy(backend).backends[0]
 
-    def call(be: str) -> ExecutionResult:
-        cfg = config if be in (primary, "sputnik") else None
-        return get_impl("sddmm", be).cost(ctx, mask, k, cfg)
+        def call(be: str) -> ExecutionResult:
+            cfg = config if be in (primary, "sputnik") else None
+            return get_impl("sddmm", be).cost(ctx, mask, k, cfg)
 
-    return _policy_dispatch(
-        ctx, "sddmm", backend, validate, call, operands=(mask,), cost=True
-    )
+        return _policy_dispatch(
+            ctx, "sddmm", backend, validate, call,
+            operands=(mask,), cost=True, span=span,
+        )
 
 
 def sparse_softmax(
@@ -241,29 +285,31 @@ def sparse_softmax(
 ) -> KernelResult:
     """Row-wise softmax over CSR nonzeros (Section VII-C)."""
     ctx = resolve_context(context, device)
-    if _fast_path(ctx, backend, validate):
-        impl = get_impl("sparse_softmax", backend)
-        result = impl.run(ctx, a, scale)
-        ctx.telemetry.record_launch(
-            "sparse_softmax", backend, result.execution
-        )
-        return result
-
-    def call(be: str) -> KernelResult:
-        return get_impl("sparse_softmax", be).run(ctx, a, scale)
-
-    fp32_call = None
-    if a.values.dtype == np.float16:
-
-        def fp32_call(be: str) -> KernelResult:
-            return get_impl("sparse_softmax", be).run(
-                ctx, a.astype(np.float32), scale
+    with _op_span(ctx, "sparse_softmax", backend) as span:
+        if _fast_path(ctx, backend, validate):
+            impl = get_impl("sparse_softmax", backend)
+            result = impl.run(ctx, a, scale)
+            ctx.telemetry.record_launch(
+                "sparse_softmax", backend, result.execution
             )
+            span.add_sim(result.execution.runtime_s)
+            return result
 
-    return _policy_dispatch(
-        ctx, "sparse_softmax", backend, validate, call,
-        operands=(a,), fp32_call=fp32_call,
-    )
+        def call(be: str) -> KernelResult:
+            return get_impl("sparse_softmax", be).run(ctx, a, scale)
+
+        fp32_call = None
+        if a.values.dtype == np.float16:
+
+            def fp32_call(be: str) -> KernelResult:
+                return get_impl("sparse_softmax", be).run(
+                    ctx, a.astype(np.float32), scale
+                )
+
+        return _policy_dispatch(
+            ctx, "sparse_softmax", backend, validate, call,
+            operands=(a,), fp32_call=fp32_call, span=span,
+        )
 
 
 def sparse_softmax_cost(
@@ -276,19 +322,21 @@ def sparse_softmax_cost(
 ) -> ExecutionResult:
     """Simulated sparse-softmax cost only."""
     ctx = resolve_context(context, device)
-    if _fast_path(ctx, backend, validate):
-        impl = get_impl("sparse_softmax", backend)
-        result = impl.cost(ctx, a)
-        ctx.telemetry.record_launch("sparse_softmax", backend, result)
-        return result
+    with _op_span(ctx, "sparse_softmax", backend) as span:
+        if _fast_path(ctx, backend, validate):
+            impl = get_impl("sparse_softmax", backend)
+            result = impl.cost(ctx, a)
+            ctx.telemetry.record_launch("sparse_softmax", backend, result)
+            span.add_sim(result.runtime_s)
+            return result
 
-    def call(be: str) -> ExecutionResult:
-        return get_impl("sparse_softmax", be).cost(ctx, a)
+        def call(be: str) -> ExecutionResult:
+            return get_impl("sparse_softmax", be).cost(ctx, a)
 
-    return _policy_dispatch(
-        ctx, "sparse_softmax", backend, validate, call,
-        operands=(a,), cost=True,
-    )
+        return _policy_dispatch(
+            ctx, "sparse_softmax", backend, validate, call,
+            operands=(a,), cost=True, span=span,
+        )
 
 
 def csc_spmm(
@@ -303,18 +351,20 @@ def csc_spmm(
 ) -> KernelResult:
     """``C = B @ A`` with CSC ``A`` and column-major ``B``/``C``."""
     ctx = resolve_context(context, device)
-    if _fast_path(ctx, backend, validate):
-        impl = get_impl("csc_spmm", backend)
-        result = impl.run(ctx, b, a, config)
-        ctx.telemetry.record_launch("csc_spmm", backend, result.execution)
-        return result
+    with _op_span(ctx, "csc_spmm", backend) as span:
+        if _fast_path(ctx, backend, validate):
+            impl = get_impl("csc_spmm", backend)
+            result = impl.run(ctx, b, a, config)
+            ctx.telemetry.record_launch("csc_spmm", backend, result.execution)
+            span.add_sim(result.execution.runtime_s)
+            return result
 
-    def call(be: str) -> KernelResult:
-        return get_impl("csc_spmm", be).run(ctx, b, a, config)
+        def call(be: str) -> KernelResult:
+            return get_impl("csc_spmm", be).run(ctx, b, a, config)
 
-    return _policy_dispatch(
-        ctx, "csc_spmm", backend, validate, call, operands=(a,)
-    )
+        return _policy_dispatch(
+            ctx, "csc_spmm", backend, validate, call, operands=(a,), span=span
+        )
 
 
 def csc_spmm_cost(
@@ -329,18 +379,21 @@ def csc_spmm_cost(
 ) -> ExecutionResult:
     """Simulated CSC-SpMM cost only (``n`` = rows of the dense left operand)."""
     ctx = resolve_context(context, device)
-    if _fast_path(ctx, backend, validate):
-        impl = get_impl("csc_spmm", backend)
-        result = impl.cost(ctx, a, n, config)
-        ctx.telemetry.record_launch("csc_spmm", backend, result)
-        return result
+    with _op_span(ctx, "csc_spmm", backend) as span:
+        if _fast_path(ctx, backend, validate):
+            impl = get_impl("csc_spmm", backend)
+            result = impl.cost(ctx, a, n, config)
+            ctx.telemetry.record_launch("csc_spmm", backend, result)
+            span.add_sim(result.runtime_s)
+            return result
 
-    def call(be: str) -> ExecutionResult:
-        return get_impl("csc_spmm", be).cost(ctx, a, n, config)
+        def call(be: str) -> ExecutionResult:
+            return get_impl("csc_spmm", be).cost(ctx, a, n, config)
 
-    return _policy_dispatch(
-        ctx, "csc_spmm", backend, validate, call, operands=(a,), cost=True
-    )
+        return _policy_dispatch(
+            ctx, "csc_spmm", backend, validate, call,
+            operands=(a,), cost=True, span=span,
+        )
 
 
 def matmul(
@@ -354,16 +407,20 @@ def matmul(
 ) -> KernelResult:
     """Dense ``A @ B`` (the models' dense projections and baselines)."""
     ctx = resolve_context(context, device)
-    if _fast_path(ctx, backend, validate):
-        impl = get_impl("matmul", backend)
-        result = impl.run(ctx, a, b)
-        ctx.telemetry.record_launch("matmul", backend, result.execution)
-        return result
+    with _op_span(ctx, "matmul", backend) as span:
+        if _fast_path(ctx, backend, validate):
+            impl = get_impl("matmul", backend)
+            result = impl.run(ctx, a, b)
+            ctx.telemetry.record_launch("matmul", backend, result.execution)
+            span.add_sim(result.execution.runtime_s)
+            return result
 
-    def call(be: str) -> KernelResult:
-        return get_impl("matmul", be).run(ctx, a, b)
+        def call(be: str) -> KernelResult:
+            return get_impl("matmul", be).run(ctx, a, b)
 
-    return _policy_dispatch(ctx, "matmul", backend, validate, call)
+        return _policy_dispatch(
+            ctx, "matmul", backend, validate, call, span=span
+        )
 
 
 def matmul_cost(
@@ -379,13 +436,17 @@ def matmul_cost(
 ) -> ExecutionResult:
     """Simulated dense-GEMM cost only."""
     ctx = resolve_context(context, device)
-    if _fast_path(ctx, backend, validate):
-        impl = get_impl("matmul", backend)
-        result = impl.cost(ctx, m, n, k, element_bytes)
-        ctx.telemetry.record_launch("matmul", backend, result)
-        return result
+    with _op_span(ctx, "matmul", backend) as span:
+        if _fast_path(ctx, backend, validate):
+            impl = get_impl("matmul", backend)
+            result = impl.cost(ctx, m, n, k, element_bytes)
+            ctx.telemetry.record_launch("matmul", backend, result)
+            span.add_sim(result.runtime_s)
+            return result
 
-    def call(be: str) -> ExecutionResult:
-        return get_impl("matmul", be).cost(ctx, m, n, k, element_bytes)
+        def call(be: str) -> ExecutionResult:
+            return get_impl("matmul", be).cost(ctx, m, n, k, element_bytes)
 
-    return _policy_dispatch(ctx, "matmul", backend, validate, call, cost=True)
+        return _policy_dispatch(
+            ctx, "matmul", backend, validate, call, cost=True, span=span
+        )

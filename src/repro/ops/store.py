@@ -40,8 +40,9 @@ from pathlib import Path
 from typing import Any, Callable
 
 #: Bump to invalidate every persisted plan (e.g. when a plan dataclass or
-#: the cost model changes shape).
-PLAN_STORE_VERSION = 1
+#: the cost model changes shape). v2: ExecutionResult grew the per-launch
+#: ``phases`` attribution, so v1 pickles would deserialize without it.
+PLAN_STORE_VERSION = 2
 
 #: Magic tag identifying a plan-store envelope.
 _MAGIC = "repro-plan-store"

@@ -163,6 +163,10 @@ def run_with_policy(
     injector = ctx.injector
     check_operands = policy.validate or injector is not None
     extra_s = 0.0
+    # Reliability events land on whatever dispatch span is currently open
+    # (the operator wrappers open one per call when a tracer is attached).
+    tracer = getattr(ctx, "tracer", None)
+    span = tracer.current if tracer is not None else None
 
     def succeed(backend, attempt_no, result, outcome="ok", error=""):
         report.backend_used = backend
@@ -185,6 +189,12 @@ def run_with_policy(
                     if stall:
                         extra_s += stall
                         report.injected_latency_s += stall
+                        if span is not None:
+                            span.event(
+                                "injected_latency",
+                                backend=backend,
+                                seconds=stall,
+                            )
                 if check_operands:
                     guardrails.validate_operands(operands)
                 with guardrails.guarded(active=policy.validate):
@@ -209,6 +219,10 @@ def run_with_policy(
                         )
                     )
                     ctx.last_dispatch_report = report
+                    if span is not None:
+                        span.event(
+                            "failure", backend=backend, error=classify(exc)
+                        )
                     raise
                 error = exc
             except NumericalError as exc:
@@ -222,6 +236,10 @@ def run_with_policy(
                     guardrails.check_finite_result(result, op, backend)
                     report.degraded = True
                     telemetry.record_degraded(op, backend)
+                    if span is not None:
+                        span.event(
+                            "degraded", backend=backend, error=classify(exc)
+                        )
                     return succeed(
                         backend, attempt_no, result, "degraded", classify(exc)
                     )
@@ -230,6 +248,10 @@ def run_with_policy(
                     AttemptRecord(backend, attempt_no, "failed", classify(exc))
                 )
                 ctx.last_dispatch_report = report
+                if span is not None:
+                    span.event(
+                        "failure", backend=backend, error=classify(exc)
+                    )
                 raise
             else:
                 return succeed(backend, attempt_no, result)
@@ -247,6 +269,14 @@ def run_with_policy(
                 report.attempts.append(
                     AttemptRecord(backend, attempt_no, "retry", classify(error))
                 )
+                if span is not None:
+                    span.event(
+                        "retry",
+                        backend=backend,
+                        attempt=attempt_no,
+                        error=classify(error),
+                        backoff_s=wait,
+                    )
             elif backend_index < len(chain) - 1:
                 report.fallbacks += 1
                 telemetry.record_fallback(op, backend)
@@ -255,12 +285,23 @@ def run_with_policy(
                         backend, attempt_no, "fallback", classify(error)
                     )
                 )
+                if span is not None:
+                    span.event(
+                        "fallback",
+                        backend=backend,
+                        next=chain[backend_index + 1],
+                        error=classify(error),
+                    )
             else:
                 report.attempts.append(
                     AttemptRecord(backend, attempt_no, "failed", classify(error))
                 )
                 telemetry.record_failure(op, backend)
                 ctx.last_dispatch_report = report
+                if span is not None:
+                    span.event(
+                        "failure", backend=backend, error=classify(error)
+                    )
                 raise FallbackExhaustedError(
                     op=op, attempts=report.attempts
                 ) from error

@@ -10,7 +10,12 @@ from repro.gpu import (
     KernelLaunch,
     V100,
     execute,
+    register_completion_observer,
+    register_launch_observer,
+    unregister_completion_observer,
+    unregister_launch_observer,
 )
+from repro.gpu.executor import _COMPLETION_OBSERVERS, _LAUNCH_OBSERVERS
 
 
 def make_launch(**kwargs) -> KernelLaunch:
@@ -124,3 +129,97 @@ class TestExecutionResultHelpers:
         a = execute(make_launch(), V100)
         with pytest.raises(ValueError):
             a.add_overhead(-1.0)
+
+
+class TestObserverErrorPaths:
+    """A misbehaving observer must never corrupt the observer lists."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_observers(self):
+        before_launch = list(_LAUNCH_OBSERVERS)
+        before_done = list(_COMPLETION_OBSERVERS)
+        yield
+        _LAUNCH_OBSERVERS[:] = before_launch
+        _COMPLETION_OBSERVERS[:] = before_done
+
+    def test_raising_launch_observer_propagates_without_leak(self):
+        def bad(launch, device):
+            raise RuntimeError("observer boom")
+
+        register_launch_observer(bad)
+        with pytest.raises(RuntimeError, match="observer boom"):
+            execute(make_launch(), V100)
+        # The failure left the registration intact (no silent removal)...
+        assert bad in _LAUNCH_OBSERVERS
+        unregister_launch_observer(bad)
+        # ...and after unregistering, launches succeed again.
+        assert bad not in _LAUNCH_OBSERVERS
+        assert execute(make_launch(), V100).runtime_s > 0
+
+    def test_raising_completion_observer_propagates_without_leak(self):
+        def bad(launch, device, result):
+            raise RuntimeError("completion boom")
+
+        register_completion_observer(bad)
+        with pytest.raises(RuntimeError, match="completion boom"):
+            execute(make_launch(), V100)
+        assert bad in _COMPLETION_OBSERVERS
+        unregister_completion_observer(bad)
+        assert execute(make_launch(), V100).runtime_s > 0
+
+    def test_register_is_idempotent(self):
+        def obs(launch, device):
+            pass
+
+        register_launch_observer(obs)
+        register_launch_observer(obs)
+        assert _LAUNCH_OBSERVERS.count(obs) == 1
+        unregister_launch_observer(obs)
+        assert obs not in _LAUNCH_OBSERVERS
+
+    def test_unregister_missing_is_noop(self):
+        unregister_launch_observer(lambda launch, device: None)
+        unregister_completion_observer(lambda launch, device, result: None)
+
+    def test_unregister_during_notify_is_safe(self):
+        """An observer removing itself (or a peer) mid-notification must not
+        skip or double-call the remaining observers."""
+        calls = []
+
+        def self_removing(launch, device):
+            calls.append("self_removing")
+            unregister_launch_observer(self_removing)
+
+        def peer(launch, device):
+            calls.append("peer")
+
+        register_launch_observer(self_removing)
+        register_launch_observer(peer)
+        execute(make_launch(), V100)
+        assert calls == ["self_removing", "peer"]
+        # Second launch: only the peer remains.
+        execute(make_launch(), V100)
+        assert calls == ["self_removing", "peer", "peer"]
+
+    def test_completion_unregister_during_notify_is_safe(self):
+        seen = []
+
+        def once(launch, device, result):
+            seen.append(result.runtime_s)
+            unregister_completion_observer(once)
+
+        register_completion_observer(once)
+        execute(make_launch(), V100)
+        execute(make_launch(), V100)
+        assert len(seen) == 1
+
+    def test_completion_observer_sees_final_result(self):
+        captured = []
+        register_completion_observer(
+            lambda launch, device, result: captured.append((launch, result))
+        )
+        launch = make_launch()
+        result = execute(launch, V100)
+        assert captured and captured[0][0] is launch
+        assert captured[0][1] is result
+        assert captured[0][1].phases is not None

@@ -40,7 +40,7 @@ def _isolate_default_contexts():
     leaking into other tests."""
     yield
     ops.reset_default_contexts()
-    sweep_mod._WORKER_CONTEXTS.clear()
+    sweep_mod.reset_worker_state()
 
 
 class TestBuildTasks:
