@@ -10,7 +10,11 @@ Exercises the PR's acceptance criteria end to end and records them in
    wall overhead (informational).
 2. **Traced MobileNet forward** — ``Profile.to_trace()`` lays the profiled
    kernels on a simulated timeline; same validity + phase-sum checks.
-3. **Tracing-off dispatch overhead** — warm-cache ``ops.spmm_cost``
+3. **Traced batched attention** — one multi-head pass through the batched
+   dispatch path; every ``*_batched`` op span must carry its batch-size
+   label and every batched launch the ``_x{H}`` suffix, with the same
+   phase-sum check.
+4. **Tracing-off dispatch overhead** — warm-cache ``ops.spmm_cost``
    dispatch through the span-instrumented wrapper (tracer detached) vs an
    equivalent un-instrumented fast path; asserted < 5%.
 
@@ -187,6 +191,70 @@ def bench_mobilenet_trace() -> dict:
     return result
 
 
+def bench_batched_trace(heads: int) -> dict:
+    """Trace one batched multi-head attention pass; every batched op span
+    must be labeled with its batch size and every launch ``_x{H}``."""
+    from repro.datasets.attention import banded_random_mask
+    from repro.nn import sparse_attention_batched
+    from repro.obs.profiler import PhaseProfiler
+    from repro.obs.tracing import Tracer
+
+    seq, dk = 256, 32
+    ops.reset_default_contexts()
+    ctx = ops.ExecutionContext(V100)
+    tracer = Tracer(process="batched-attention")
+    profiler = PhaseProfiler(tracer=tracer, device=V100).start()
+    ctx.attach_tracer(tracer)
+    ops.set_default_context(ctx)
+    try:
+        mask = banded_random_mask(seq, band=32, seed=5)
+        rng = np.random.default_rng(5)
+        q, k, v = (
+            rng.standard_normal((heads, seq, dk)).astype(np.float32)
+            for _ in range(3)
+        )
+        sparse_attention_batched(q, k, v, mask, V100)
+    finally:
+        profiler.stop()
+        ops.reset_default_contexts()
+
+    records = tracer.to_jsonl_records()
+    spans = {
+        r["name"]: r
+        for r in records
+        if r.get("type") == "span" and r["name"].endswith("_batched")
+    }
+    expected = {"sddmm_batched", "sparse_softmax_batched", "spmm_batched"}
+    assert set(spans) == expected, sorted(spans)
+    for name, span in spans.items():
+        assert span["args"].get("batch") == heads, (
+            f"{name} span missing batch-size label: {span['args']}"
+        )
+    launches = [r for r in records if r.get("type") == "launch"]
+    worst = _check_phase_sums(launches)
+    names = sorted({r["name"] for r in launches})
+    assert all(name.endswith(f"_x{heads}") for name in names), names
+
+    trace = chrome_trace_from_records(records)
+    problems = validate_chrome_trace(trace)
+    assert not problems, f"invalid Chrome trace: {problems[:3]}"
+    (ARTIFACTS / "batched_attention_trace.json").write_text(json.dumps(trace))
+
+    result = {
+        "seq": seq,
+        "heads": heads,
+        "batched_spans": sorted(spans),
+        "batched_launches": names,
+        "n_launch_records": len(launches),
+        "worst_phase_sum_error": worst,
+    }
+    print(
+        f"batched attention trace: H={heads}, spans {sorted(spans)}, "
+        f"launches {names}, worst phase-sum error {worst:.3%}"
+    )
+    return result
+
+
 def bench_dispatch_overhead(repeats: int, calls: int) -> dict:
     """Warm-cache dispatch: instrumented wrapper (tracer off) vs the
     equivalent un-instrumented fast path."""
@@ -246,6 +314,7 @@ def main() -> None:
     ARTIFACTS.mkdir(exist_ok=True)
     sweep = bench_traced_sweep(n_matrices, workers)
     mobilenet = bench_mobilenet_trace()
+    batched = bench_batched_trace(heads=4 if args.smoke else 8)
     overhead = bench_dispatch_overhead(repeats, calls)
 
     trace_report = build_report(read_jsonl(ARTIFACTS / "sweep_trace.jsonl"))
@@ -262,6 +331,7 @@ def main() -> None:
         },
         "sweep": sweep,
         "mobilenet": mobilenet,
+        "batched_attention": batched,
         "dispatch": overhead,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")

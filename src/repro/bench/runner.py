@@ -21,6 +21,7 @@ from ..sparse.csr import CSRMatrix
 
 SpmmTimer = Callable[[CSRMatrix, int, DeviceSpec], ExecutionResult]
 SddmmTimer = Callable[[CSRMatrix, int, DeviceSpec], ExecutionResult]
+BatchedSpmmTimer = Callable[[CSRMatrix, int, int, DeviceSpec], ExecutionResult]
 
 
 # ----------------------------------------------------------------------
@@ -49,6 +50,22 @@ def aspt_spmm_time(a: CSRMatrix, n: int, device: DeviceSpec) -> ExecutionResult:
 def dense_spmm_time(a: CSRMatrix, n: int, device: DeviceSpec) -> ExecutionResult:
     """The dense-GEMM equivalent of the sparse problem (Figure 1's line)."""
     return ops.spmm_cost(a, n, device, backend="dense")
+
+
+# ----------------------------------------------------------------------
+# Batched SpMM timers (cost-only): ``h`` stacked dense operands over one
+# shared topology, costed as a single z-scaled launch.
+# ----------------------------------------------------------------------
+def sputnik_spmm_batched_time(
+    a: CSRMatrix, n: int, h: int, device: DeviceSpec
+) -> ExecutionResult:
+    return ops.spmm_batched_cost(a, n, h, device)
+
+
+def dense_spmm_batched_time(
+    a: CSRMatrix, n: int, h: int, device: DeviceSpec
+) -> ExecutionResult:
+    return ops.spmm_batched_cost(a, n, h, device, backend="dense")
 
 
 # ----------------------------------------------------------------------
@@ -90,6 +107,13 @@ SDDMM_KERNELS: dict[str, SddmmTimer] = {
     "aspt": aspt_sddmm_time,
 }
 
+#: Batched SpMM timers by name. Sweeps with ``h > 1`` look kernels up here,
+#: so only backends with a registered batched implementation appear.
+SPMM_BATCHED_KERNELS: dict[str, BatchedSpmmTimer] = {
+    "sputnik": sputnik_spmm_batched_time,
+    "dense": dense_spmm_batched_time,
+}
+
 
 # ----------------------------------------------------------------------
 # Sweeps
@@ -118,6 +142,7 @@ class BenchRow:
     nnz: int
     runtime_s: float
     flops: float
+    h: int = 1
     status: str = "ok"
     error: str = ""
     wall_s: float = 0.0
@@ -146,12 +171,14 @@ def _telemetry_totals(ctx) -> dict[str, int | float]:
 
 
 def _measure(
-    timer, label: str, name: str, matrix: CSRMatrix, dim: int, device
+    timer, label: str, name: str, matrix: CSRMatrix, dim: int, device, h: int = 1
 ) -> BenchRow:
     """Run one timer, converting a raised kernel failure into a failed row.
 
     Each row records its wall-clock duration and the delta of the shared
-    context's aggregate telemetry across the call.
+    context's aggregate telemetry across the call. ``h > 1`` calls a
+    batched timer (``timer(matrix, dim, h, device)``) and scales the
+    nominal flop count by the stack depth.
     """
     base = dict(
         problem=label,
@@ -160,13 +187,16 @@ def _measure(
         k=matrix.n_cols,
         n=dim,
         nnz=matrix.nnz,
-        flops=2.0 * matrix.nnz * dim,
+        flops=2.0 * matrix.nnz * dim * h,
+        h=h,
     )
     ctx = ops.default_context(device)
     before = _telemetry_totals(ctx)
     start = time.perf_counter()
     try:
-        result = timer(matrix, dim, device)
+        result = timer(matrix, dim, device) if h == 1 else timer(
+            matrix, dim, h, device
+        )
     except Exception as exc:  # noqa: BLE001 - the sweep must keep going
         wall_s = time.perf_counter() - start
         after = _telemetry_totals(ctx)

@@ -35,21 +35,33 @@ from typing import Iterable, Sequence
 from .. import ops
 from ..datasets.spec import MatrixSpec
 from ..gpu.device import DeviceSpec
-from .runner import SPMM_KERNELS, _measure
+from .runner import SPMM_BATCHED_KERNELS, SPMM_KERNELS, _measure
 
 
 @dataclass(frozen=True)
 class SweepTask:
-    """One (matrix spec, kernel, batch size) measurement to run."""
+    """One (matrix spec, kernel, batch size[, stack depth]) measurement.
+
+    ``h`` is the batched-execution stack depth: ``h > 1`` times the kernel
+    through the batched dispatch path (one z-scaled launch for the whole
+    stack) instead of the single-operand one.
+    """
 
     spec: MatrixSpec
     kernel: str
     n: int
+    h: int = 1
 
     @property
     def row_key(self) -> str:
-        """Stable identity used for resume bookkeeping and store keys."""
-        return f"{self.spec.name}|{self.kernel}|{self.n}"
+        """Stable identity used for resume bookkeeping and store keys.
+
+        Unbatched tasks keep the historical ``spec|kernel|n`` form so
+        resume files written before the ``h`` dimension existed still
+        match; batched tasks append ``|h{h}``.
+        """
+        key = f"{self.spec.name}|{self.kernel}|{self.n}"
+        return key if self.h == 1 else f"{key}|h{self.h}"
 
 
 @dataclass
@@ -82,24 +94,39 @@ def build_tasks(
     specs: Iterable[MatrixSpec],
     kernels: Sequence[str],
     n: int | Sequence[int] = 64,
+    h: int | Sequence[int] = 1,
 ) -> list[SweepTask]:
-    """Expand specs × kernels × batch sizes into the sweep's task list.
+    """Expand specs × kernels × batch sizes × stack depths into tasks.
 
     A spec's own ``batch_columns`` (when set) override the sweep-level
     ``n``; unknown kernel names fail fast here rather than inside a worker.
+    Stack depths above 1 require the kernel to have a batched timer.
     """
+    stacks = (h,) if isinstance(h, int) else tuple(h)
+    needs_batched = any(depth > 1 for depth in stacks)
     for name in kernels:
         if name not in SPMM_KERNELS:
             raise ValueError(
                 f"unknown kernel {name!r}; known: {sorted(SPMM_KERNELS)}"
             )
-    batches = (n,) if isinstance(n, int) else tuple(n)
+        if needs_batched and name not in SPMM_BATCHED_KERNELS:
+            raise ValueError(
+                f"kernel {name!r} has no batched timer; "
+                f"batched kernels: {sorted(SPMM_BATCHED_KERNELS)}"
+            )
     tasks = []
+    batches = (n,) if isinstance(n, int) else tuple(n)
     for spec in specs:
         spec_batches = spec.batch_columns or batches
         for kernel in kernels:
             for cols in spec_batches:
-                tasks.append(SweepTask(spec=spec, kernel=kernel, n=int(cols)))
+                for depth in stacks:
+                    tasks.append(
+                        SweepTask(
+                            spec=spec, kernel=kernel, n=int(cols),
+                            h=int(depth),
+                        )
+                    )
     return tasks
 
 
@@ -154,7 +181,10 @@ def reset_worker_state() -> None:
 
 
 def _row_store_key(device: DeviceSpec, task: SweepTask) -> tuple:
-    return ("sweep_row", device, repr(task.spec), task.kernel, task.n)
+    # h == 1 keeps the historical 5-tuple so pre-batching store entries
+    # still hit; batched tasks get the stack depth appended.
+    key = ("sweep_row", device, repr(task.spec), task.kernel, task.n)
+    return key if task.h == 1 else key + (task.h,)
 
 
 def _worker_tracer(ctx, key: tuple):
@@ -219,7 +249,11 @@ def _run_chunk(
                     continue
             if matrix is None:
                 matrix = spec.materialize()
-            timer = SPMM_KERNELS[task.kernel]
+            timer = (
+                SPMM_KERNELS[task.kernel]
+                if task.h == 1
+                else SPMM_BATCHED_KERNELS[task.kernel]
+            )
             if tracer is not None:
                 with tracer.span(
                     "sweep.task",
@@ -227,17 +261,19 @@ def _run_chunk(
                     spec=spec.name,
                     kernel=task.kernel,
                     n=task.n,
+                    h=task.h,
                 ):
                     row = asdict(
                         _measure(
                             timer, spec.name, task.kernel, matrix, task.n,
-                            device,
+                            device, h=task.h,
                         )
                     )
             else:
                 row = asdict(
                     _measure(
-                        timer, spec.name, task.kernel, matrix, task.n, device
+                        timer, spec.name, task.kernel, matrix, task.n, device,
+                        h=task.h,
                     )
                 )
             if store is not None and row["status"] == "ok":
@@ -317,6 +353,7 @@ def run_sweep(
     device: DeviceSpec,
     *,
     n: int | Sequence[int] = 64,
+    h: int | Sequence[int] = 1,
     workers: int = 1,
     chunk_size: int = 8,
     store_path: str | Path | None = None,
@@ -338,8 +375,11 @@ def run_sweep(
       keeping their own pid rows (worker wall clocks have per-process
       epochs, so cross-process alignment is approximate). Summarize it with
       ``python -m repro.obs.report <trace_path>``.
+    - ``h`` adds a batched-execution dimension: each depth above 1 times
+      the kernel through the batched dispatch path (one z-scaled launch
+      per stack) and suffixes the row key with ``|h{depth}``.
     """
-    tasks = build_tasks(specs, kernels, n=n)
+    tasks = build_tasks(specs, kernels, n=n, h=h)
     total = len(tasks)
     out_file = Path(out_path) if out_path is not None else None
     store_str = str(store_path) if store_path is not None else None

@@ -27,7 +27,16 @@ from .roma import (
     masked_gather_reference,
     unaligned_rows,
 )
-from .sddmm import SddmmPlan, execute_sddmm, plan_sddmm, sddmm
+from .sddmm import (
+    SddmmBatchedPlan,
+    SddmmPlan,
+    execute_sddmm,
+    execute_sddmm_batched,
+    plan_sddmm,
+    plan_sddmm_batched,
+    sddmm,
+    sddmm_batched,
+)
 from .selection import (
     next_power_of_two,
     oracle_spmm_config,
@@ -38,12 +47,25 @@ from .selection import (
     widest_vector_width,
 )
 from .sparse_softmax import (
+    SparseSoftmaxBatchedPlan,
     SparseSoftmaxPlan,
     execute_sparse_softmax,
+    execute_sparse_softmax_batched,
     plan_sparse_softmax,
+    plan_sparse_softmax_batched,
     sparse_softmax,
+    sparse_softmax_batched,
 )
-from .spmm import SpmmPlan, execute_spmm, plan_spmm, spmm
+from .spmm import (
+    SpmmBatchedPlan,
+    SpmmPlan,
+    execute_spmm,
+    execute_spmm_batched,
+    plan_spmm,
+    plan_spmm_batched,
+    spmm,
+    spmm_batched,
+)
 from .swizzle import (
     bundle_rows,
     bundle_weights,
@@ -61,16 +83,28 @@ __all__ = [
     "csc_as_transposed_csr",
     "sddmm",
     "sparse_softmax",
+    "spmm_batched",
+    "sddmm_batched",
+    "sparse_softmax_batched",
     "SpmmPlan",
     "SddmmPlan",
     "SparseSoftmaxPlan",
+    "SpmmBatchedPlan",
+    "SddmmBatchedPlan",
+    "SparseSoftmaxBatchedPlan",
     "plan_spmm",
     "plan_sddmm",
     "plan_sparse_softmax",
+    "plan_spmm_batched",
+    "plan_sddmm_batched",
+    "plan_sparse_softmax_batched",
     "plan_spmm_csc",
     "execute_spmm",
     "execute_sddmm",
     "execute_sparse_softmax",
+    "execute_spmm_batched",
+    "execute_sddmm_batched",
+    "execute_sparse_softmax_batched",
     "execute_spmm_csc",
     "SpmmConfig",
     "SddmmConfig",

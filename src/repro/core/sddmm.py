@@ -25,7 +25,7 @@ from ..gpu.executor import BlockCosts, ExecutionResult, KernelLaunch, execute
 from ..gpu.memory import dram_bytes_with_reuse, l1_hit_fraction
 from ..gpu.occupancy import BlockResources, compute_occupancy
 from ..sparse.csr import CSRMatrix
-from ..sparse.ops import sddmm_flops, sddmm_reference
+from ..sparse.ops import sddmm_batched_reference, sddmm_flops, sddmm_reference
 from .config import SddmmConfig
 from .swizzle import identity_swizzle, row_swizzle
 from .types import KernelResult
@@ -271,6 +271,124 @@ def execute_sddmm(
         ),
         execution=plan.execution,
     )
+
+
+@dataclass
+class SddmmBatchedPlan:
+    """Batched SDDMM plan: ``h`` shared-mask products in one launch.
+
+    The real-work grid tiles ``h`` times along z (identical strips per
+    batch item — the mask is shared) and the early-exit drag of the
+    over-provisioned grid scales with it, but only ONE per-launch
+    overhead is paid for the whole stack.
+    """
+
+    config: SddmmConfig
+    k: int
+    #: Batch size (heads sharing the mask topology).
+    h: int
+    device: DeviceSpec
+    launch: KernelLaunch
+    #: Early-exit scheduler drag, already scaled to the batched grid.
+    drag: float
+    #: Simulated execution, drag included.
+    execution: ExecutionResult
+    mask_shape: tuple[int, int]
+    nnz: int
+
+
+def plan_sddmm_batched(
+    mask: CSRMatrix,
+    k: int,
+    h: int,
+    device: DeviceSpec,
+    config: SddmmConfig | None = None,
+) -> SddmmBatchedPlan:
+    """Plan ``h`` SDDMMs sharing ``mask``'s topology as ONE launch."""
+    if h <= 0:
+        raise ValueError("batch size must be positive")
+    if config is None:
+        from .selection import select_sddmm_config
+
+        config = select_sddmm_config(k)
+    base, drag = build_launch(mask, k, config, device)
+    launch = base.batched(h)
+    return SddmmBatchedPlan(
+        config=config,
+        k=k,
+        h=h,
+        device=device,
+        launch=launch,
+        drag=drag * h,
+        execution=execute(launch, device).add_overhead(drag * h),
+        mask_shape=mask.shape,
+        nnz=mask.nnz,
+    )
+
+
+def execute_sddmm_batched(
+    plan: SddmmBatchedPlan,
+    lhs_stack: np.ndarray,
+    rhs_stack: np.ndarray,
+    mask: CSRMatrix,
+) -> KernelResult:
+    """Run a planned batched SDDMM: one fused call, one costed launch.
+
+    ``lhs_stack`` is ``(H, rows, k)``, ``rhs_stack`` ``(H, cols, k)``;
+    the output is the column-stacked ``(nnz, H)`` value matrix (one
+    column per batch item, all sharing ``mask``'s topology).
+    """
+    if mask.shape != plan.mask_shape or mask.nnz != plan.nnz:
+        raise ValueError(
+            f"mask {mask.shape} (nnz={mask.nnz}) does not match the planned "
+            f"mask {plan.mask_shape} (nnz={plan.nnz})"
+        )
+    lhs_stack = np.asarray(lhs_stack)
+    rhs_stack = np.asarray(rhs_stack)
+    if lhs_stack.ndim != 3 or lhs_stack.shape[0] != plan.h:
+        raise ValueError(
+            f"lhs stack shape {lhs_stack.shape} does not carry the planned "
+            f"batch size H={plan.h}"
+        )
+    if not plan.config.transposed_rhs:
+        raise NotImplementedError(
+            "batched SDDMM implements the paper's deep-learning variant "
+            "(transposed rhs) only"
+        )
+    # Per-head validation on the first slab; the stack shares its shape.
+    _validate(lhs_stack[0], rhs_stack[0], mask, plan.config)
+    if lhs_stack.shape[2] != plan.k:
+        raise ValueError(
+            f"inner dim {lhs_stack.shape[2]} but the plan has K={plan.k}"
+        )
+    return KernelResult(
+        output=sddmm_batched_reference(
+            lhs_stack,
+            rhs_stack,
+            mask,
+            scale_by_values=plan.config.scale_by_values,
+        ),
+        execution=plan.execution,
+    )
+
+
+def sddmm_batched(
+    lhs_stack: np.ndarray,
+    rhs_stack: np.ndarray,
+    mask: CSRMatrix,
+    device: DeviceSpec,
+    config: SddmmConfig | None = None,
+) -> KernelResult:
+    """Batched Sputnik SDDMM: numerics + one amortized simulated launch."""
+    lhs_stack = np.asarray(lhs_stack)
+    if lhs_stack.ndim != 3:
+        raise ValueError(
+            f"lhs stack must be (H, rows, k), got {lhs_stack.shape}"
+        )
+    plan = plan_sddmm_batched(
+        mask, lhs_stack.shape[2], lhs_stack.shape[0], device, config
+    )
+    return execute_sddmm_batched(plan, lhs_stack, rhs_stack, mask)
 
 
 def sddmm(

@@ -17,7 +17,10 @@ from ..gpu.device import DeviceSpec
 from ..gpu.executor import BlockCosts, ExecutionResult, KernelLaunch, execute
 from ..gpu.occupancy import BlockResources
 from ..sparse.csr import CSRMatrix
-from ..sparse.ops import sparse_softmax_reference
+from ..sparse.ops import (
+    sparse_softmax_batched_reference,
+    sparse_softmax_reference,
+)
 from .types import KernelResult
 
 #: Warps (rows) per thread block.
@@ -111,3 +114,77 @@ def sparse_softmax(
 ) -> KernelResult:
     """Row-wise softmax over CSR nonzeros: numerics + simulated cost."""
     return execute_sparse_softmax(plan_sparse_softmax(a, device), a, scale=scale)
+
+
+@dataclass
+class SparseSoftmaxBatchedPlan:
+    """Batched sparse-softmax plan: ``h`` value columns, one launch.
+
+    Each warp's three row passes tile ``h`` times along z (the row
+    structure is shared), paying one per-launch overhead for the whole
+    ``(nnz, H)`` value matrix.
+    """
+
+    #: Batch size (value columns sharing the topology).
+    h: int
+    device: DeviceSpec
+    launch: KernelLaunch
+    execution: ExecutionResult
+    shape: tuple[int, int]
+    nnz: int
+
+
+def plan_sparse_softmax_batched(
+    a: CSRMatrix, h: int, device: DeviceSpec
+) -> SparseSoftmaxBatchedPlan:
+    """Plan ``h`` row softmaxes over ``a``'s topology as ONE launch."""
+    if h <= 0:
+        raise ValueError("batch size must be positive")
+    if a.nnz == 0:
+        raise ValueError("softmax of an empty sparse matrix is undefined")
+    launch = build_launch(a, device).batched(h)
+    return SparseSoftmaxBatchedPlan(
+        h=h,
+        device=device,
+        launch=launch,
+        execution=execute(launch, device),
+        shape=a.shape,
+        nnz=a.nnz,
+    )
+
+
+def execute_sparse_softmax_batched(
+    plan: SparseSoftmaxBatchedPlan,
+    a: CSRMatrix,
+    values: np.ndarray,
+    scale: float = 1.0,
+) -> KernelResult:
+    """Run a planned batched softmax over a ``(nnz, H)`` value matrix."""
+    if a.shape != plan.shape or a.nnz != plan.nnz:
+        raise ValueError(
+            f"matrix {a.shape} (nnz={a.nnz}) does not match the planned "
+            f"operand {plan.shape} (nnz={plan.nnz})"
+        )
+    values = np.asarray(values)
+    if values.ndim != 2 or values.shape != (a.nnz, plan.h):
+        raise ValueError(
+            f"value matrix shape {values.shape} != ({a.nnz}, {plan.h})"
+        )
+    return KernelResult(
+        output=sparse_softmax_batched_reference(a, values, scale=scale),
+        execution=plan.execution,
+    )
+
+
+def sparse_softmax_batched(
+    a: CSRMatrix,
+    values: np.ndarray,
+    device: DeviceSpec,
+    scale: float = 1.0,
+) -> KernelResult:
+    """Batched row softmax over shared topology: one amortized launch."""
+    values = np.asarray(values)
+    if values.ndim != 2:
+        raise ValueError(f"value matrix must be (nnz, H), got {values.shape}")
+    plan = plan_sparse_softmax_batched(a, values.shape[1], device)
+    return execute_sparse_softmax_batched(plan, a, values, scale=scale)

@@ -26,7 +26,7 @@ from ..gpu.executor import BlockCosts, ExecutionResult, KernelLaunch, execute
 from ..gpu.memory import dram_bytes_with_reuse, l1_hit_fraction
 from ..gpu.occupancy import BlockResources, compute_occupancy
 from ..sparse.csr import CSRMatrix
-from ..sparse.ops import spmm_flops, spmm_reference
+from ..sparse.ops import spmm_batched_reference, spmm_flops, spmm_reference
 from .config import SpmmConfig
 from .roma import (
     ROMA_MASK_INSTRUCTIONS,
@@ -342,6 +342,125 @@ def execute_spmm(plan: SpmmPlan, a: CSRMatrix, b: np.ndarray) -> KernelResult:
     if b.shape[1] != plan.n:
         raise ValueError(f"B has {b.shape[1]} columns but the plan has N={plan.n}")
     return KernelResult(output=spmm_reference(a, b), execution=plan.execution)
+
+
+@dataclass
+class SpmmBatchedPlan:
+    """Batched SpMM plan: ``h`` shared-topology products in one launch.
+
+    Built from the same values-independent analysis as :class:`SpmmPlan`,
+    then the costed launch is scaled along the grid's z axis via
+    :meth:`~repro.gpu.executor.KernelLaunch.batched` — one plan, one
+    launch, one per-launch overhead for the whole stack (Section VII-C1).
+    """
+
+    config: SpmmConfig
+    n: int
+    #: Batch size (heads / batch items sharing the topology).
+    h: int
+    device: DeviceSpec
+    launch: KernelLaunch
+    execution: ExecutionResult
+    #: Shape of the planned sparse operand, for execute-time validation.
+    m: int
+    k: int
+
+
+def plan_spmm_batched(
+    a: CSRMatrix,
+    n: int,
+    h: int,
+    device: DeviceSpec,
+    config: SpmmConfig | None = None,
+) -> SpmmBatchedPlan:
+    """Plan ``h`` SpMMs sharing ``a``'s topology as ONE batched launch."""
+    if h <= 0:
+        raise ValueError("batch size must be positive")
+    if config is None:
+        from .selection import select_spmm_config
+
+        precision = "mixed" if a.values.dtype == np.float16 else "fp32"
+        config = select_spmm_config(a, n, precision)
+    tiling, order, groups, extents = _analyze(a, config, device)
+    del order
+    launch = _launch_from_analysis(
+        a, n, config, device, tiling, groups, extents
+    ).batched(h)
+    return SpmmBatchedPlan(
+        config=config,
+        n=n,
+        h=h,
+        device=device,
+        launch=launch,
+        execution=execute(launch, device),
+        m=a.n_rows,
+        k=a.n_cols,
+    )
+
+
+def execute_spmm_batched(
+    plan: SpmmBatchedPlan,
+    a: CSRMatrix,
+    b_stack: np.ndarray,
+    values: np.ndarray | None = None,
+) -> KernelResult:
+    """Run a planned batched SpMM: one fused multiply, one costed launch.
+
+    ``b_stack`` is ``(H, k, n)``. With ``values`` of shape ``(H, nnz)``
+    each batch item multiplies its own value set against the shared
+    structure (per-head attention probabilities); otherwise all items
+    share ``a``'s values (a weight matrix applied across a batch).
+    """
+    if a.shape != (plan.m, plan.k):
+        raise ValueError(
+            f"matrix {a.shape} does not match the planned operand "
+            f"({plan.m}, {plan.k})"
+        )
+    b_stack = np.asarray(b_stack)
+    if b_stack.ndim != 3 or b_stack.shape[0] != plan.h:
+        raise ValueError(
+            f"B stack shape {b_stack.shape} does not carry the planned "
+            f"batch size H={plan.h}"
+        )
+    # Per-head validation, vectorized: every slab shares shape and dtype.
+    _validate(a, b_stack[0], plan.config)
+    if b_stack.shape[2] != plan.n:
+        raise ValueError(
+            f"B has {b_stack.shape[2]} columns but the plan has N={plan.n}"
+        )
+    if values is not None:
+        values = np.asarray(values)
+        if values.shape != (plan.h, a.nnz):
+            raise ValueError(
+                f"per-head values shape {values.shape} != "
+                f"({plan.h}, {a.nnz})"
+            )
+        if values.dtype != plan.config.value_dtype:
+            raise TypeError(
+                f"per-head values are {values.dtype}, expected "
+                f"{plan.config.value_dtype}"
+            )
+    return KernelResult(
+        output=spmm_batched_reference(a, b_stack, values),
+        execution=plan.execution,
+    )
+
+
+def spmm_batched(
+    a: CSRMatrix,
+    b_stack: np.ndarray,
+    device: DeviceSpec,
+    config: SpmmConfig | None = None,
+    values: np.ndarray | None = None,
+) -> KernelResult:
+    """Batched Sputnik SpMM: numerics + one amortized simulated launch."""
+    b_stack = np.asarray(b_stack)
+    if b_stack.ndim != 3:
+        raise ValueError(f"B stack must be (H, k, n), got {b_stack.shape}")
+    plan = plan_spmm_batched(
+        a, b_stack.shape[2], b_stack.shape[0], device, config
+    )
+    return execute_spmm_batched(plan, a, b_stack, values)
 
 
 def spmm(

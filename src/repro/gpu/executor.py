@@ -97,6 +97,38 @@ class KernelLaunch:
         if not 0.0 < self.pipeline_efficiency <= 1.0:
             raise ValueError("pipeline_efficiency must be in (0, 1]")
 
+    def batched(self, h: int) -> "KernelLaunch":
+        """Scale the grid along z for ``h`` shared-topology batch items.
+
+        Each item contributes an identical slab of thread blocks (same
+        per-block costs and resources — the topology is shared, so the work
+        distribution repeats exactly), so the cost vectors tile ``h`` times
+        and the grid grows to ``h * n_blocks``. The whole stack goes down
+        in ONE launch: ``h - 1`` per-launch overheads are amortized away
+        relative to dispatching the items one by one, which is exactly the
+        paper's Section VII-C1 batching argument.
+        """
+        if h <= 0:
+            raise ValueError("batch size must be positive")
+        if h == 1:
+            return self
+        costs = self.costs.broadcast(self.n_blocks)
+        return KernelLaunch(
+            name=f"{self.name}_x{h}",
+            n_blocks=self.n_blocks * h,
+            resources=self.resources,
+            costs=BlockCosts(
+                fma_instructions=np.tile(costs.fma_instructions, h),
+                other_instructions=np.tile(costs.other_instructions, h),
+                dram_bytes=np.tile(costs.dram_bytes, h),
+                l2_bytes=np.tile(costs.l2_bytes, h),
+                l1_bytes=np.tile(costs.l1_bytes, h),
+                smem_bytes=np.tile(costs.smem_bytes, h),
+            ),
+            flops=self.flops * h,
+            pipeline_efficiency=self.pipeline_efficiency,
+        )
+
 
 #: Phase names, in attribution-priority order (ties go to the earliest).
 PHASE_NAMES = ("compute", "l1", "l2", "dram", "imbalance", "overhead")

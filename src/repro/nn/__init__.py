@@ -5,9 +5,11 @@ are built from."""
 from .activation import bias_relu, elementwise_execution, relu
 from .attention import (
     dense_attention,
+    dense_attention_batched,
     dense_attention_cost,
     softmax,
     sparse_attention,
+    sparse_attention_batched,
     sparse_attention_cost,
 )
 from .batchnorm import (
@@ -43,6 +45,8 @@ __all__ = [
     "softmax",
     "dense_attention",
     "sparse_attention",
+    "dense_attention_batched",
+    "sparse_attention_batched",
     "dense_attention_cost",
     "sparse_attention_cost",
     "BatchNorm",

@@ -110,6 +110,96 @@ def sparse_attention(
     return out.output
 
 
+def dense_attention_batched(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    device: DeviceSpec,
+    profile: Profile | None = None,
+    causal: bool = True,
+) -> np.ndarray:
+    """Multi-head dense attention over ``(H, seq, dk)`` stacks.
+
+    All heads go down as strided-batched cuBLAS GEMMs — one launch per
+    matmul stage for the whole stack instead of one per head.
+    """
+    q = np.asarray(q, np.float32)
+    k = np.asarray(k, np.float32)
+    v = np.asarray(v, np.float32)
+    if q.ndim != 3:
+        raise ValueError(f"expected (H, seq, dk) stacks, got {q.shape}")
+    h, seq, dk = q.shape
+    scores_exec = ops.matmul_cost(h * seq, seq, dk, device)
+    logits = np.einsum("hsd,htd->hst", q, k) / np.sqrt(dk)
+    if causal:
+        causal_mask = np.triu(np.ones((seq, seq), dtype=bool), k=1)
+        logits = np.where(causal_mask[None], -np.inf, logits)
+    probs = softmax(logits, axis=2)
+    out_exec = ops.matmul_cost(h * seq, dk, seq, device)
+    out = np.einsum("hst,htd->hsd", probs, v).astype(np.float32)
+    if profile is not None:
+        from .activation import elementwise_execution
+
+        profile.add(scores_exec)
+        profile.add(
+            elementwise_execution(logits.size, device, "dense_softmax", reads=2)
+        )
+        profile.add(out_exec)
+    return out
+
+
+def sparse_attention_batched(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: CSRMatrix,
+    device: DeviceSpec,
+    profile: Profile | None = None,
+    *,
+    policy=None,
+    validate: bool = False,
+    reports: list | None = None,
+) -> np.ndarray:
+    """Multi-head sparse attention over ``(H, seq, dk)`` stacks.
+
+    All heads share ``mask``'s topology (Section VII-C1), so the whole
+    stack is three batched dispatches — batched SDDMM producing the
+    ``(nnz, H)`` score matrix, one batched softmax over it, and one
+    batched SpMM with per-head probability values against ``V`` — each
+    resolving ONE plan and costing ONE z-scaled launch. A policy-routed
+    call yields one DispatchReport per stage covering the whole batch.
+    """
+    q = np.asarray(q, np.float32)
+    k = np.asarray(k, np.float32)
+    v = np.asarray(v, np.float32)
+    if q.ndim != 3:
+        raise ValueError(f"expected (H, seq, dk) stacks, got {q.shape}")
+    dk = q.shape[2]
+    backend = policy if policy is not None else "sputnik"
+    scores = ops.sddmm_batched(
+        q, k, mask, device, backend=backend, validate=validate
+    )
+    probs = ops.sparse_softmax_batched(
+        mask, scores.output, device, scale=1.0 / np.sqrt(dk),
+        backend=backend, validate=validate,
+    )
+    out = ops.spmm_batched(
+        mask, v, device, backend=backend, validate=validate,
+        values=np.ascontiguousarray(probs.output.T),
+    )
+    if reports is not None:
+        reports.extend(
+            r.reliability
+            for r in (scores, probs, out)
+            if r.reliability is not None
+        )
+    if profile is not None:
+        profile.add(scores.execution)
+        profile.add(probs.execution)
+        profile.add(out.execution)
+    return out.output
+
+
 def dense_attention_cost(
     seq: int, dk: int, n_instances: int, device: DeviceSpec, profile: Profile
 ) -> None:

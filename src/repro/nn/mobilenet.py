@@ -188,6 +188,112 @@ class MobileNetV1:
             profile.add(epilogue)
         return out
 
+    def _pointwise_batch(
+        self,
+        weight: CSRMatrix | np.ndarray,
+        bias: np.ndarray,
+        x_stack: np.ndarray,
+        device: DeviceSpec,
+        profile: Profile | None,
+    ) -> np.ndarray:
+        """Pointwise 1x1 conv over a ``(B, C, spatial)`` activation stack.
+
+        The sparse path dispatches the whole batch as ONE
+        :func:`~repro.ops.spmm_batched` call — the weight topology (and
+        values) are shared, so one plan and one z-scaled launch cover all
+        ``B`` spatial GEMMs. The dense path folds the batch into a single
+        wide cuBLAS GEMM.
+        """
+        batch, _, spatial = x_stack.shape
+        if isinstance(weight, CSRMatrix):
+            # Same vector-width padding as the single-image path; every
+            # slab shares the spatial size, so pad the stack in one shot.
+            pad = pad_batch_for_vectors(x_stack[0]).shape[1] - spatial
+            b_stack = np.ascontiguousarray(
+                np.pad(x_stack.astype(np.float32), ((0, 0), (0, 0), (0, pad)))
+            )
+            selector = "oracle" if self.use_oracle else "heuristic"
+            result = ops.spmm_batched(weight, b_stack, device, selector=selector)
+            if profile is not None:
+                profile.add(result.execution)
+            out = result.output[:, :, :spatial]
+            return np.maximum(out + bias[None, :, None], 0)
+        wide = np.ascontiguousarray(
+            x_stack.astype(np.float32).transpose(1, 0, 2).reshape(
+                x_stack.shape[1], batch * spatial
+            )
+        )
+        result = ops.matmul(weight, wide, device)
+        if profile is not None:
+            profile.add(result.execution)
+        out, epilogue = bias_relu(result.output, bias, device)
+        if profile is not None:
+            profile.add(epilogue)
+        return np.ascontiguousarray(
+            out.reshape(-1, batch, spatial).transpose(1, 0, 2)
+        )
+
+    def forward_batch(
+        self,
+        images: np.ndarray,
+        device: DeviceSpec,
+        profile: Profile | None = None,
+    ) -> np.ndarray:
+        """Batched inference: ``images`` is ``(B, 3, 224, 224)`` CHW.
+
+        The sparse 1x1 convolutions — the vast majority of the FLOPs —
+        run as batched SpMMs across the spatial batch (one launch per
+        layer for the whole batch); the first conv and dense pointwise
+        path fold into single wide GEMMs. Returns ``(B, classes)``.
+        """
+        images = np.asarray(images, dtype=np.float32)
+        if images.ndim != 4 or images.shape[1:] != (3, INPUT_SIZE, INPUT_SIZE):
+            raise ValueError(
+                f"expected (B, 3, {INPUT_SIZE}, {INPUT_SIZE}), "
+                f"got {images.shape}"
+            )
+        batch = images.shape[0]
+        if profile is not None:
+            profile.add_weights(self.weight_bytes())
+
+        # First conv: one wide GEMM over the horizontally-stacked patches.
+        cols = np.concatenate(
+            [im2col(img, kernel=3, stride=2, padding=1) for img in images],
+            axis=1,
+        )
+        r = ops.matmul(self.first_conv, cols, device)
+        if profile is not None:
+            profile.add(r.execution)
+        x2d, epilogue = bias_relu(r.output, self.first_bias, device)
+        if profile is not None:
+            profile.add(epilogue)
+        side = INPUT_SIZE // 2
+        x = np.ascontiguousarray(
+            x2d.reshape(-1, batch, side, side).transpose(1, 0, 2, 3)
+        )
+
+        for block in self.blocks:
+            # Depthwise 3x3 stays per-image (bandwidth-bound, dense).
+            x = np.stack([
+                depthwise_conv(
+                    xi, block["dw"], block["dw_bias"], device,
+                    stride=block["stride"], profile=profile,
+                )
+                for xi in x
+            ])
+            x_stack = x.reshape(batch, x.shape[1], -1)
+            weight = block.get("pw_sparse", block.get("pw_dense"))
+            x_stack = self._pointwise_batch(
+                weight, block["pw_bias"], x_stack, device, profile
+            )
+            x = x_stack.reshape(batch, x_stack.shape[1], x.shape[2], x.shape[3])
+
+        pooled = x.mean(axis=(2, 3))
+        logits = ops.matmul(self.fc, pooled.T.copy(), device)
+        if profile is not None:
+            profile.add(logits.execution)
+        return logits.output.T
+
     def forward(
         self,
         image: np.ndarray,

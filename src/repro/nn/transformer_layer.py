@@ -14,7 +14,7 @@ import numpy as np
 from .. import ops
 from ..gpu.device import DeviceSpec
 from ..sparse.csr import CSRMatrix
-from .attention import dense_attention, sparse_attention
+from .attention import dense_attention_batched, sparse_attention_batched
 from .profile import Profile
 
 
@@ -92,20 +92,25 @@ class TransformerLayer:
         k = self._project(self.w_k, h, device, profile)
         v = self._project(self.w_v, h, device, profile)
 
-        heads = []
-        for i in range(self.n_heads):
-            sl = slice(i * self.head_dim, (i + 1) * self.head_dim)
-            if self.mask is None:
-                heads.append(
-                    dense_attention(q[:, sl], k[:, sl], v[:, sl], device, profile)
-                )
-            else:
-                heads.append(
-                    sparse_attention(
-                        q[:, sl], k[:, sl], v[:, sl], self.mask, device, profile
-                    )
-                )
-        attended = np.concatenate(heads, axis=1)
+        # All heads dispatch as ONE batched attention over (H, seq, hd)
+        # stacks — one plan and one z-scaled launch per kernel stage
+        # instead of a per-head loop (Section VII-C1 batching).
+        seq = x.shape[0]
+        q, k, v = (
+            np.ascontiguousarray(
+                t.reshape(seq, self.n_heads, self.head_dim).transpose(1, 0, 2)
+            )
+            for t in (q, k, v)
+        )
+        if self.mask is None:
+            attended_stack = dense_attention_batched(q, k, v, device, profile)
+        else:
+            attended_stack = sparse_attention_batched(
+                q, k, v, self.mask, device, profile
+            )
+        attended = np.ascontiguousarray(
+            attended_stack.transpose(1, 0, 2)
+        ).reshape(seq, self.d_model)
         x = x + self._project(self.w_o, attended, device, profile)
 
         h = layer_norm(x)

@@ -4,6 +4,9 @@ Single entry point for every sparse operator in the reproduction:
 
 - :func:`spmm`, :func:`sddmm`, :func:`sparse_softmax`, :func:`csc_spmm`,
   :func:`matmul` — numerics + simulated cost, dispatched by backend string;
+- :func:`spmm_batched`, :func:`sddmm_batched`,
+  :func:`sparse_softmax_batched` — stacked operands over one shared
+  topology: one plan, one z-scaled launch, one DispatchReport per batch;
 - ``*_cost`` variants — simulated cost only (the benchmark path);
 - :class:`ExecutionContext` / :func:`default_context` — device + per-matrix
   plan cache + telemetry;
@@ -37,10 +40,16 @@ from .operators import (
     matmul_cost,
     resolve_context,
     sddmm,
+    sddmm_batched,
+    sddmm_batched_cost,
     sddmm_cost,
     sparse_softmax,
+    sparse_softmax_batched,
+    sparse_softmax_batched_cost,
     sparse_softmax_cost,
     spmm,
+    spmm_batched,
+    spmm_batched_cost,
     spmm_cost,
 )
 from .plans import PlanCache, matrix_fingerprint
@@ -56,10 +65,16 @@ from .registry import (
 __all__ = [
     "spmm",
     "spmm_cost",
+    "spmm_batched",
+    "spmm_batched_cost",
     "sddmm",
     "sddmm_cost",
+    "sddmm_batched",
+    "sddmm_batched_cost",
     "sparse_softmax",
     "sparse_softmax_cost",
+    "sparse_softmax_batched",
+    "sparse_softmax_batched_cost",
     "csc_spmm",
     "csc_spmm_cost",
     "matmul",

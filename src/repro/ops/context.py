@@ -21,14 +21,29 @@ import numpy as np
 from ..baselines.cublas import gemm_execution
 from ..core.config import SddmmConfig, SpmmConfig
 from ..core.csc_spmm import plan_spmm_csc
-from ..core.sddmm import SddmmPlan, plan_sddmm
+from ..core.sddmm import (
+    SddmmBatchedPlan,
+    SddmmPlan,
+    plan_sddmm,
+    plan_sddmm_batched,
+)
 from ..core.selection import (
     oracle_spmm_config,
     select_sddmm_config,
     select_spmm_config,
 )
-from ..core.sparse_softmax import SparseSoftmaxPlan, plan_sparse_softmax
-from ..core.spmm import SpmmPlan, plan_spmm
+from ..core.sparse_softmax import (
+    SparseSoftmaxBatchedPlan,
+    SparseSoftmaxPlan,
+    plan_sparse_softmax,
+    plan_sparse_softmax_batched,
+)
+from ..core.spmm import (
+    SpmmBatchedPlan,
+    SpmmPlan,
+    plan_spmm,
+    plan_spmm_batched,
+)
 from ..gpu.device import V100, DeviceSpec
 from ..gpu.executor import ExecutionResult
 from ..sparse.csc import CSCMatrix
@@ -467,6 +482,60 @@ class ExecutionContext:
             backend,
             key,
             lambda: plan_sparse_softmax(a, self.device),
+        )
+
+    def spmm_batched_plan(
+        self,
+        a: CSRMatrix,
+        n: int,
+        h: int,
+        config: SpmmConfig | None = None,
+        selector: str = "heuristic",
+        backend: str = "sputnik",
+    ) -> SpmmBatchedPlan:
+        """One plan for ``h`` SpMMs sharing ``a``'s topology (one launch)."""
+        fp = matrix_fingerprint(a)
+        if config is None:
+            config = self.spmm_config(a, n, selector, fingerprint=fp)
+        key = ("spmm_batched", fp, n, h, config)
+        return self._cached(
+            "spmm_batched",
+            backend,
+            key,
+            lambda: plan_spmm_batched(a, n, h, self.device, config),
+        )
+
+    def sddmm_batched_plan(
+        self,
+        mask: CSRMatrix,
+        k: int,
+        h: int,
+        config: SddmmConfig | None = None,
+        backend: str = "sputnik",
+    ) -> SddmmBatchedPlan:
+        """One plan for ``h`` SDDMMs sharing ``mask``'s topology."""
+        if config is None:
+            config = select_sddmm_config(k)
+        fp = matrix_fingerprint(mask)
+        key = ("sddmm_batched", fp, k, h, config)
+        return self._cached(
+            "sddmm_batched",
+            backend,
+            key,
+            lambda: plan_sddmm_batched(mask, k, h, self.device, config),
+        )
+
+    def sparse_softmax_batched_plan(
+        self, a: CSRMatrix, h: int, backend: str = "sputnik"
+    ) -> SparseSoftmaxBatchedPlan:
+        """One plan for ``h`` row softmaxes over ``a``'s topology."""
+        fp = matrix_fingerprint(a)
+        key = ("sparse_softmax_batched", fp, h)
+        return self._cached(
+            "sparse_softmax_batched",
+            backend,
+            key,
+            lambda: plan_sparse_softmax_batched(a, h, self.device),
         )
 
     def csc_spmm_plan(

@@ -339,6 +339,269 @@ def sparse_softmax_cost(
         )
 
 
+def spmm_batched(
+    a: CSRMatrix,
+    b_stack: np.ndarray,
+    device: DeviceSpec | None = None,
+    config: SpmmConfig | None = None,
+    *,
+    values: np.ndarray | None = None,
+    context: ExecutionContext | None = None,
+    backend="sputnik",
+    selector: str = "heuristic",
+    validate: bool = False,
+) -> KernelResult:
+    """``C[h] = A_h @ B[h]`` for ``h`` products sharing ``A``'s topology.
+
+    ``b_stack`` is ``(H, k, n)``; ``values`` optionally supplies a
+    ``(H, nnz)`` per-item value matrix over the shared structure (per-head
+    attention probabilities). ONE plan is resolved and ONE z-scaled launch
+    is costed for the whole stack, amortizing ``H - 1`` launch overheads;
+    a policy-dispatched call produces ONE DispatchReport covering the
+    batch, and guardrail validation scans the whole output stack.
+    """
+    ctx = resolve_context(context, device)
+    b_stack = np.asarray(b_stack)
+    if b_stack.ndim != 3:
+        raise ValueError(f"B stack must be (H, k, n), got {b_stack.shape}")
+    h = b_stack.shape[0]
+    with _op_span(ctx, "spmm_batched", backend) as span:
+        span.set(batch=h)
+        if _fast_path(ctx, backend, validate):
+            impl = get_impl("spmm_batched", backend)
+            result = impl.run(ctx, a, b_stack, config, selector, values)
+            ctx.telemetry.record_launch(
+                "spmm_batched", backend, result.execution
+            )
+            span.add_sim(result.execution.runtime_s)
+            return result
+
+        primary = as_policy(backend).backends[0]
+
+        def call(be: str) -> KernelResult:
+            cfg = config if be in (primary, "sputnik") else None
+            return get_impl("spmm_batched", be).run(
+                ctx, a, b_stack, cfg, selector, values
+            )
+
+        fp32_call = None
+        if a.values.dtype == np.float16:
+
+            def fp32_call(be: str) -> KernelResult:
+                a32 = a.astype(np.float32)
+                b32 = np.asarray(b_stack, dtype=np.float32)
+                v32 = (
+                    None if values is None
+                    else np.asarray(values, dtype=np.float32)
+                )
+                return get_impl("spmm_batched", be).run(
+                    ctx, a32, b32, None, selector, v32
+                )
+
+        return _policy_dispatch(
+            ctx, "spmm_batched", backend, validate, call,
+            operands=(a,), fp32_call=fp32_call, span=span,
+        )
+
+
+def spmm_batched_cost(
+    a: CSRMatrix,
+    n: int,
+    h: int,
+    device: DeviceSpec | None = None,
+    config: SpmmConfig | None = None,
+    *,
+    context: ExecutionContext | None = None,
+    backend="sputnik",
+    selector: str = "heuristic",
+    validate: bool = False,
+) -> ExecutionResult:
+    """Simulated batched-SpMM cost only (``h`` stacked products)."""
+    ctx = resolve_context(context, device)
+    with _op_span(ctx, "spmm_batched", backend) as span:
+        span.set(batch=h)
+        if _fast_path(ctx, backend, validate):
+            impl = get_impl("spmm_batched", backend)
+            result = impl.cost(ctx, a, n, h, config, selector)
+            ctx.telemetry.record_launch("spmm_batched", backend, result)
+            span.add_sim(result.runtime_s)
+            return result
+
+        primary = as_policy(backend).backends[0]
+
+        def call(be: str) -> ExecutionResult:
+            cfg = config if be in (primary, "sputnik") else None
+            return get_impl("spmm_batched", be).cost(
+                ctx, a, n, h, cfg, selector
+            )
+
+        return _policy_dispatch(
+            ctx, "spmm_batched", backend, validate, call,
+            operands=(a,), cost=True, span=span,
+        )
+
+
+def sddmm_batched(
+    lhs_stack: np.ndarray,
+    rhs_stack: np.ndarray,
+    mask: CSRMatrix,
+    device: DeviceSpec | None = None,
+    config: SddmmConfig | None = None,
+    *,
+    context: ExecutionContext | None = None,
+    backend="sputnik",
+    validate: bool = False,
+) -> KernelResult:
+    """``(lhs[h] @ rhs[h]^T) ∘ I[mask]`` for ``h`` stacked head pairs.
+
+    The output is the column-stacked ``(nnz, H)`` value matrix over the
+    shared mask topology — exactly what :func:`sparse_softmax_batched`
+    and the ``values`` form of :func:`spmm_batched` consume.
+    """
+    ctx = resolve_context(context, device)
+    lhs_stack = np.asarray(lhs_stack)
+    if lhs_stack.ndim != 3:
+        raise ValueError(
+            f"lhs stack must be (H, rows, k), got {lhs_stack.shape}"
+        )
+    h = lhs_stack.shape[0]
+    with _op_span(ctx, "sddmm_batched", backend) as span:
+        span.set(batch=h)
+        if _fast_path(ctx, backend, validate):
+            impl = get_impl("sddmm_batched", backend)
+            result = impl.run(ctx, lhs_stack, rhs_stack, mask, config)
+            ctx.telemetry.record_launch(
+                "sddmm_batched", backend, result.execution
+            )
+            span.add_sim(result.execution.runtime_s)
+            return result
+
+        primary = as_policy(backend).backends[0]
+
+        def call(be: str) -> KernelResult:
+            cfg = config if be in (primary, "sputnik") else None
+            return get_impl("sddmm_batched", be).run(
+                ctx, lhs_stack, rhs_stack, mask, cfg
+            )
+
+        return _policy_dispatch(
+            ctx, "sddmm_batched", backend, validate, call,
+            operands=(mask,), span=span,
+        )
+
+
+def sddmm_batched_cost(
+    mask: CSRMatrix,
+    k: int,
+    h: int,
+    device: DeviceSpec | None = None,
+    config: SddmmConfig | None = None,
+    *,
+    context: ExecutionContext | None = None,
+    backend="sputnik",
+    validate: bool = False,
+) -> ExecutionResult:
+    """Simulated batched-SDDMM cost only (``h`` stacked products)."""
+    ctx = resolve_context(context, device)
+    with _op_span(ctx, "sddmm_batched", backend) as span:
+        span.set(batch=h)
+        if _fast_path(ctx, backend, validate):
+            impl = get_impl("sddmm_batched", backend)
+            result = impl.cost(ctx, mask, k, h, config)
+            ctx.telemetry.record_launch("sddmm_batched", backend, result)
+            span.add_sim(result.runtime_s)
+            return result
+
+        primary = as_policy(backend).backends[0]
+
+        def call(be: str) -> ExecutionResult:
+            cfg = config if be in (primary, "sputnik") else None
+            return get_impl("sddmm_batched", be).cost(ctx, mask, k, h, cfg)
+
+        return _policy_dispatch(
+            ctx, "sddmm_batched", backend, validate, call,
+            operands=(mask,), cost=True, span=span,
+        )
+
+
+def sparse_softmax_batched(
+    a: CSRMatrix,
+    values: np.ndarray,
+    device: DeviceSpec | None = None,
+    scale: float = 1.0,
+    *,
+    context: ExecutionContext | None = None,
+    backend="sputnik",
+    validate: bool = False,
+) -> KernelResult:
+    """Row softmax over a ``(nnz, H)`` value matrix sharing ``a``'s
+    topology — all ``H`` columns in one launch."""
+    ctx = resolve_context(context, device)
+    values = np.asarray(values)
+    if values.ndim != 2:
+        raise ValueError(f"value matrix must be (nnz, H), got {values.shape}")
+    h = values.shape[1]
+    with _op_span(ctx, "sparse_softmax_batched", backend) as span:
+        span.set(batch=h)
+        if _fast_path(ctx, backend, validate):
+            impl = get_impl("sparse_softmax_batched", backend)
+            result = impl.run(ctx, a, values, scale)
+            ctx.telemetry.record_launch(
+                "sparse_softmax_batched", backend, result.execution
+            )
+            span.add_sim(result.execution.runtime_s)
+            return result
+
+        def call(be: str) -> KernelResult:
+            return get_impl("sparse_softmax_batched", be).run(
+                ctx, a, values, scale
+            )
+
+        fp32_call = None
+        if values.dtype == np.float16:
+
+            def fp32_call(be: str) -> KernelResult:
+                return get_impl("sparse_softmax_batched", be).run(
+                    ctx, a, np.asarray(values, dtype=np.float32), scale
+                )
+
+        return _policy_dispatch(
+            ctx, "sparse_softmax_batched", backend, validate, call,
+            operands=(a,), fp32_call=fp32_call, span=span,
+        )
+
+
+def sparse_softmax_batched_cost(
+    a: CSRMatrix,
+    h: int,
+    device: DeviceSpec | None = None,
+    *,
+    context: ExecutionContext | None = None,
+    backend="sputnik",
+    validate: bool = False,
+) -> ExecutionResult:
+    """Simulated batched sparse-softmax cost only (``h`` value columns)."""
+    ctx = resolve_context(context, device)
+    with _op_span(ctx, "sparse_softmax_batched", backend) as span:
+        span.set(batch=h)
+        if _fast_path(ctx, backend, validate):
+            impl = get_impl("sparse_softmax_batched", backend)
+            result = impl.cost(ctx, a, h)
+            ctx.telemetry.record_launch(
+                "sparse_softmax_batched", backend, result
+            )
+            span.add_sim(result.runtime_s)
+            return result
+
+        def call(be: str) -> ExecutionResult:
+            return get_impl("sparse_softmax_batched", be).cost(ctx, a, h)
+
+        return _policy_dispatch(
+            ctx, "sparse_softmax_batched", backend, validate, call,
+            operands=(a,), cost=True, span=span,
+        )
+
+
 def csc_spmm(
     b: np.ndarray,
     a: CSCMatrix,

@@ -31,9 +31,12 @@ from ..baselines import aspt, cusparse
 from ..baselines.merge_spmm import merge_spmm
 from ..baselines.merge_spmm import spmm_launch as merge_spmm_launch
 from ..core.csc_spmm import execute_spmm_csc
-from ..core.sddmm import execute_sddmm
-from ..core.sparse_softmax import execute_sparse_softmax
-from ..core.spmm import execute_spmm
+from ..core.sddmm import execute_sddmm, execute_sddmm_batched
+from ..core.sparse_softmax import (
+    execute_sparse_softmax,
+    execute_sparse_softmax_batched,
+)
+from ..core.spmm import execute_spmm, execute_spmm_batched
 from ..core.types import KernelResult
 from ..gpu.executor import ExecutionResult, execute
 from .plans import matrix_fingerprint
@@ -198,6 +201,93 @@ def _dense_spmm_cost(ctx, a, n, config, selector):
 
 
 # ----------------------------------------------------------------------
+# Batched backends: one shared topology, stacked operands, one launch
+# ----------------------------------------------------------------------
+def _batched_stack(b_stack: np.ndarray) -> np.ndarray:
+    b_stack = np.asarray(b_stack)
+    if b_stack.ndim != 3:
+        raise ValueError(
+            f"batched dense operand must be 3-D (H, ...), got {b_stack.shape}"
+        )
+    return b_stack
+
+
+def _sputnik_spmm_batched_run(ctx, a, b_stack, config, selector, values=None):
+    b_stack = _batched_stack(b_stack)
+    plan = ctx.spmm_batched_plan(
+        a, b_stack.shape[2], b_stack.shape[0], config, selector
+    )
+    return execute_spmm_batched(plan, a, b_stack, values)
+
+
+def _sputnik_spmm_batched_cost(ctx, a, n, h, config, selector):
+    return ctx.spmm_batched_plan(a, n, h, config, selector).execution
+
+
+def _dense_spmm_batched_run(ctx, a, b_stack, config, selector, values=None):
+    """Densified batched GEMM fallback: one strided-batched cuBLAS call."""
+    _reject_config("dense", config)
+    b_stack = _batched_stack(b_stack)
+    h, k, n = b_stack.shape
+    if k != a.n_cols:
+        raise ValueError(
+            f"B stack shape {b_stack.shape} incompatible with A {a.shape}"
+        )
+    execution = ctx.gemm_execution(
+        h * a.n_rows, n, a.n_cols, a.value_bytes,
+        op="spmm_batched", backend="dense",
+    )
+    if values is None:
+        dense = a.to_dense().astype(np.float32)
+        out = np.einsum(
+            "mk,hkn->hmn", dense, b_stack.astype(np.float32)
+        ).astype(a.values.dtype)
+    else:
+        values = np.asarray(values)
+        row_ids = np.repeat(np.arange(a.n_rows), a.row_lengths)
+        dense_stack = np.zeros((h, a.n_rows, a.n_cols), dtype=np.float32)
+        dense_stack[:, row_ids, a.column_indices] = values.astype(np.float32)
+        out = np.einsum(
+            "hmk,hkn->hmn", dense_stack, b_stack.astype(np.float32)
+        ).astype(values.dtype)
+    return KernelResult(output=out, execution=execution)
+
+
+def _dense_spmm_batched_cost(ctx, a, n, h, config, selector):
+    _reject_config("dense", config)
+    return ctx.gemm_execution(
+        h * a.n_rows, n, a.n_cols, a.value_bytes,
+        op="spmm_batched", backend="dense",
+    )
+
+
+def _sputnik_sddmm_batched_run(ctx, lhs_stack, rhs_stack, mask, config):
+    lhs_stack = _batched_stack(lhs_stack)
+    plan = ctx.sddmm_batched_plan(
+        mask, lhs_stack.shape[2], lhs_stack.shape[0], config
+    )
+    return execute_sddmm_batched(plan, lhs_stack, rhs_stack, mask)
+
+
+def _sputnik_sddmm_batched_cost(ctx, mask, k, h, config):
+    return ctx.sddmm_batched_plan(mask, k, h, config).execution
+
+
+def _sputnik_softmax_batched_run(ctx, a, values, scale):
+    values = np.asarray(values)
+    if values.ndim != 2:
+        raise ValueError(
+            f"batched softmax values must be (nnz, H), got {values.shape}"
+        )
+    plan = ctx.sparse_softmax_batched_plan(a, values.shape[1])
+    return execute_sparse_softmax_batched(plan, a, values, scale=scale)
+
+
+def _sputnik_softmax_batched_cost(ctx, a, h):
+    return ctx.sparse_softmax_batched_plan(a, h).execution
+
+
+# ----------------------------------------------------------------------
 # SDDMM backends
 # ----------------------------------------------------------------------
 def _sputnik_sddmm_run(ctx, lhs, rhs, mask, config):
@@ -313,6 +403,16 @@ register(KernelImpl(
     run=_dense_spmm_run, cost=_dense_spmm_cost, exact=False,
 ))
 register(KernelImpl(
+    "spmm_batched", "sputnik",
+    "Batched shared-topology SpMM: one plan, one z-scaled launch",
+    run=_sputnik_spmm_batched_run, cost=_sputnik_spmm_batched_cost,
+))
+register(KernelImpl(
+    "spmm_batched", "dense",
+    "Strided-batched cuBLAS GEMM on the densified operand stack",
+    run=_dense_spmm_batched_run, cost=_dense_spmm_batched_cost, exact=False,
+))
+register(KernelImpl(
     "sddmm", "sputnik", "The paper's strip-mined SDDMM (Section VI)",
     run=_sputnik_sddmm_run, cost=_sputnik_sddmm_cost,
 ))
@@ -325,8 +425,18 @@ register(KernelImpl(
     run=_aspt_sddmm_run, cost=_aspt_sddmm_cost,
 ))
 register(KernelImpl(
+    "sddmm_batched", "sputnik",
+    "Batched shared-mask SDDMM: one plan, one z-scaled launch",
+    run=_sputnik_sddmm_batched_run, cost=_sputnik_sddmm_batched_cost,
+))
+register(KernelImpl(
     "sparse_softmax", "sputnik", "Row softmax over CSR values (Section VII-C)",
     run=_sputnik_softmax_run, cost=_sputnik_softmax_cost,
+))
+register(KernelImpl(
+    "sparse_softmax_batched", "sputnik",
+    "Batched row softmax over a (nnz, H) value matrix, one launch",
+    run=_sputnik_softmax_batched_run, cost=_sputnik_softmax_batched_cost,
 ))
 register(KernelImpl(
     "csc_spmm", "sputnik", "B @ A with CSC A via the transposed CSR problem",

@@ -42,7 +42,11 @@ from typing import Any, Callable
 #: Bump to invalidate every persisted plan (e.g. when a plan dataclass or
 #: the cost model changes shape). v2: ExecutionResult grew the per-launch
 #: ``phases`` attribution, so v1 pickles would deserialize without it.
-PLAN_STORE_VERSION = 2
+#: v3: the batched-plan envelope (SpmmBatchedPlan/SddmmBatchedPlan/
+#: SparseSoftmaxBatchedPlan with z-scaled launches and batch-size keys) —
+#: stale v2 pickles must self-heal rather than deserialize into the new
+#: batched execute signatures.
+PLAN_STORE_VERSION = 3
 
 #: Magic tag identifying a plan-store envelope.
 _MAGIC = "repro-plan-store"

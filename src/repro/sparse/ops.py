@@ -20,6 +20,23 @@ import numpy as np
 
 from .csr import CSRMatrix
 
+#: Nonzeros per chunk of the SDDMM reference gathers. The ``lhs[row_ids]``/
+#: ``rhs[col_ids]`` gathers materialize ``(chunk, k)`` fp32 temporaries;
+#: chunking bounds peak memory at ~``2 * SDDMM_CHUNK_NNZ * k * 4`` bytes
+#: (a few hundred MB at k=512) regardless of the mask's nnz, so a huge
+#: SuiteSparse mask cannot blow up the reference path.
+SDDMM_CHUNK_NNZ = 1 << 18
+
+#: Batched-SDDMM fast path: when the full dense product stack holds at most
+#: this many fp32 elements (64 MB) AND the mask is at least
+#: :data:`SDDMM_DENSE_SAMPLE_DENSITY` dense, compute one batched BLAS GEMM
+#: and sample the mask coordinates from it. Per-nonzero gathers move ~2k
+#: bytes per output value; a GEMM runs an order of magnitude faster per
+#: flop, so it wins whenever more than a few percent of the product is
+#: actually needed and the product fits comfortably in memory.
+SDDMM_DENSE_SAMPLE_ELEMS = 1 << 24
+SDDMM_DENSE_SAMPLE_DENSITY = 0.02
+
 
 def spmm_reference(a: CSRMatrix, b: np.ndarray) -> np.ndarray:
     """``A @ B`` with fp32 accumulation; output in ``A``'s value dtype.
@@ -63,10 +80,14 @@ def sddmm_reference(
     row_ids = np.repeat(np.arange(rows), mask.row_lengths)
     col_ids = mask.column_indices.astype(np.int64)
     # Gathered batched dot products: one per nonzero, never materializing
-    # the dense product.
-    out_vals = np.einsum(
-        "nk,nk->n", lhs[row_ids], rhs[col_ids], dtype=np.float32
-    )
+    # the dense product. The gathers run in nnz chunks so peak memory is
+    # bounded by SDDMM_CHUNK_NNZ, not the mask's nnz.
+    out_vals = np.empty(mask.nnz, dtype=np.float32)
+    for start in range(0, mask.nnz, SDDMM_CHUNK_NNZ):
+        sl = slice(start, start + SDDMM_CHUNK_NNZ)
+        out_vals[sl] = np.einsum(
+            "nk,nk->n", lhs[row_ids[sl]], rhs[col_ids[sl]], dtype=np.float32
+        )
     if scale_by_values:
         out_vals = out_vals * mask.values.astype(np.float32)
     return mask.with_values(out_vals.astype(mask.values.dtype))
@@ -88,6 +109,140 @@ def sparse_softmax_reference(a: CSRMatrix, scale: float = 1.0) -> CSRMatrix:
     np.add.at(row_sum, row_ids, shifted)
     out = shifted / row_sum[row_ids]
     return a.with_values(out.astype(a.values.dtype))
+
+
+def spmm_batched_reference(
+    a: CSRMatrix, b_stack: np.ndarray, values: np.ndarray | None = None
+) -> np.ndarray:
+    """Shared-topology batched SpMM: ``C[h] = A_h @ B[h]`` in one call.
+
+    ``b_stack`` is ``(H, k, n)``. With ``values=None`` every head shares
+    ``a``'s values, so the whole stack folds into a single sparse x dense
+    product against the column-stacked ``(k, H*n)`` operand. With a
+    ``(H, nnz)`` ``values`` matrix (e.g. softmaxed attention scores per
+    head), the heads form one block-diagonal CSR sharing ``a``'s structure
+    and the product is still a single scipy call — never a per-head loop.
+    """
+    b_stack = np.asarray(b_stack)
+    if b_stack.ndim != 3 or b_stack.shape[1] != a.n_cols:
+        raise ValueError(
+            f"B stack shape {b_stack.shape} incompatible with A {a.shape}; "
+            "expected (H, k, n)"
+        )
+    h, k, n = b_stack.shape
+    if values is None:
+        # One topology, one value set: C = A @ [B_1 | ... | B_H].
+        wide = b_stack.transpose(1, 0, 2).reshape(k, h * n)
+        out = spmm_reference(a, np.ascontiguousarray(wide))
+        return np.ascontiguousarray(
+            out.reshape(a.n_rows, h, n).transpose(1, 0, 2)
+        )
+    values = np.asarray(values)
+    if values.shape != (h, a.nnz):
+        raise ValueError(
+            f"per-head values shape {values.shape} != ({h}, {a.nnz})"
+        )
+    from scipy import sparse as sp
+
+    # Block-diagonal stacking: H copies of the structure with per-head
+    # values — still exactly one sparse matmul.
+    offsets = np.concatenate(
+        [[0]]
+        + [a.row_offsets[1:].astype(np.int64) + i * a.nnz for i in range(h)]
+    )
+    indices = np.concatenate(
+        [a.column_indices.astype(np.int64) + i * k for i in range(h)]
+    )
+    block = sp.csr_matrix(
+        (values.astype(np.float32).ravel(), indices, offsets),
+        shape=(h * a.n_rows, h * k),
+    )
+    out = block @ b_stack.reshape(h * k, n).astype(np.float32)
+    return np.asarray(out, dtype=values.dtype).reshape(h, a.n_rows, n)
+
+
+def sddmm_batched_reference(
+    lhs_stack: np.ndarray,
+    rhs_stack: np.ndarray,
+    mask: CSRMatrix,
+    *,
+    scale_by_values: bool = False,
+) -> np.ndarray:
+    """Shared-topology batched SDDMM: ``(lhs[h] @ rhs[h].T)`` at nonzeros.
+
+    ``lhs_stack`` is ``(H, rows, k)`` and ``rhs_stack`` ``(H, cols, k)``;
+    returns the column-stacked ``(nnz, H)`` value matrix (one column per
+    head, all sharing ``mask``'s topology).
+
+    Moderately-dense small masks take a batched-GEMM fast path: one BLAS
+    ``lhs @ rhs^T`` for the whole stack, sampled at the mask coordinates —
+    per-nonzero gathers cost far more per flop than a GEMM once a few
+    percent of the product is needed. Large or very sparse problems fall
+    back to gathers chunked over nnz blocks like :func:`sddmm_reference`,
+    so peak memory stays bounded either way.
+    """
+    lhs_stack = np.asarray(lhs_stack, dtype=np.float32)
+    rhs_stack = np.asarray(rhs_stack, dtype=np.float32)
+    if lhs_stack.ndim != 3 or rhs_stack.ndim != 3:
+        raise ValueError("operand stacks must be (H, rows, k)")
+    if lhs_stack.shape[0] != rhs_stack.shape[0]:
+        raise ValueError(
+            f"stacks disagree on batch size: {lhs_stack.shape[0]} vs "
+            f"{rhs_stack.shape[0]}"
+        )
+    rows, cols = mask.shape
+    if lhs_stack.shape[1] != rows or rhs_stack.shape[1] != cols:
+        raise ValueError(
+            f"stacks {lhs_stack.shape} x {rhs_stack.shape}^T incompatible "
+            f"with mask {mask.shape}"
+        )
+    if lhs_stack.shape[2] != rhs_stack.shape[2]:
+        raise ValueError("lhs and rhs stacks must share the inner dimension")
+    h = lhs_stack.shape[0]
+    row_ids = np.repeat(np.arange(rows), mask.row_lengths)
+    col_ids = mask.column_indices.astype(np.int64)
+    dense_elems = h * rows * cols
+    density = mask.nnz / max(1, rows * cols)
+    if dense_elems <= SDDMM_DENSE_SAMPLE_ELEMS and density >= SDDMM_DENSE_SAMPLE_DENSITY:
+        scores = np.matmul(lhs_stack, rhs_stack.transpose(0, 2, 1))
+        out_vals = np.ascontiguousarray(scores[:, row_ids, col_ids].T)
+    else:
+        out_vals = np.empty((mask.nnz, h), dtype=np.float32)
+        chunk = max(1, SDDMM_CHUNK_NNZ // max(1, h))
+        for start in range(0, mask.nnz, chunk):
+            sl = slice(start, start + chunk)
+            out_vals[sl] = np.einsum(
+                "hnk,hnk->nh",
+                lhs_stack[:, row_ids[sl]],
+                rhs_stack[:, col_ids[sl]],
+                dtype=np.float32,
+            )
+    if scale_by_values:
+        out_vals = out_vals * mask.values.astype(np.float32)[:, None]
+    return out_vals.astype(mask.values.dtype)
+
+
+def sparse_softmax_batched_reference(
+    a: CSRMatrix, values: np.ndarray, scale: float = 1.0
+) -> np.ndarray:
+    """Row-wise softmax over a ``(nnz, H)`` value matrix sharing ``a``'s
+    topology — one vectorized pass over all heads."""
+    values = np.asarray(values)
+    if values.ndim != 2 or values.shape[0] != a.nnz:
+        raise ValueError(
+            f"value matrix shape {values.shape} != ({a.nnz}, H)"
+        )
+    vals = values.astype(np.float32) * np.float32(scale)
+    h = vals.shape[1]
+    lengths = a.row_lengths
+    row_ids = np.repeat(np.arange(a.n_rows), lengths)
+    row_max = np.full((a.n_rows, h), -np.inf, dtype=np.float32)
+    np.maximum.at(row_max, row_ids, vals)
+    shifted = np.exp(vals - row_max[row_ids])
+    row_sum = np.zeros((a.n_rows, h), dtype=np.float32)
+    np.add.at(row_sum, row_ids, shifted)
+    out = shifted / row_sum[row_ids]
+    return out.astype(values.dtype)
 
 
 def spmm_flops(a: CSRMatrix, n: int) -> float:

@@ -1,0 +1,393 @@
+"""Batched operator execution: the shared-topology ``(H, ...)`` stack path.
+
+All heads/batch items share one ``CSRMatrix`` topology, so the whole stack
+resolves ONE plan and costs ONE z-scaled :class:`KernelLaunch` (Section
+VII-C1). These tests pin the contract:
+
+- **numerics** — batched output equals the per-head loop across fp32/fp16
+  and H in {1, 4, 8};
+- **cost** — batched simulated runtime never exceeds the per-head sum, and
+  strictly beats it for H > 1 (the amortized launch overheads);
+- **reliability** — a fault injected into the batched launch falls back
+  ONCE for the whole batch: one DispatchReport, one fallback counter tick,
+  not H of either;
+- **references** — the chunked SDDMM gathers match the unchunked einsum
+  bit for bit, so bounding peak memory cannot change results;
+- **plumbing** — model paths (attention, MobileNet) and the sweep's ``h``
+  dimension ride the same batched dispatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ops
+from repro.bench import build_tasks, run_sweep
+from repro.bench import sweep as sweep_mod
+from repro.datasets import MatrixSpec
+from repro.datasets.attention import banded_random_mask
+from repro.gpu import V100
+from repro.nn import (
+    MobileNetV1,
+    Profile,
+    dense_attention,
+    dense_attention_batched,
+    sparse_attention,
+    sparse_attention_batched,
+)
+from repro.ops import ExecutionContext
+from repro.reliability import FallbackPolicy, FaultInjector, FaultSpec
+from repro.sparse import ops as sparse_ops
+from tests.conftest import random_sparse
+
+HEADS = [1, 4, 8]
+
+
+@pytest.fixture
+def ctx():
+    return ExecutionContext(V100)
+
+
+def stacked_problem(rng, h, rows=96, cols=64, n=16, dtype=np.float32):
+    a = random_sparse(rng, rows, cols, 0.25, dtype=dtype)
+    b_stack = rng.standard_normal((h, cols, n)).astype(dtype)
+    return a, b_stack
+
+
+def attention_problem(rng, h, seq=64, dk=32, band=8):
+    mask = banded_random_mask(seq, band=band, seed=7)
+    q, k, v = (
+        rng.standard_normal((h, seq, dk)).astype(np.float32)
+        for _ in range(3)
+    )
+    return mask, q, k, v
+
+
+# ----------------------------------------------------------------------
+# Numerics: the batch must reproduce the per-head loop
+# ----------------------------------------------------------------------
+class TestBatchedMatchesLoop:
+    @pytest.mark.parametrize("h", HEADS)
+    @pytest.mark.parametrize("dtype", [np.float32, np.float16])
+    def test_spmm_shared_values(self, rng, ctx, h, dtype):
+        a, b_stack = stacked_problem(rng, h, dtype=dtype)
+        batched = ops.spmm_batched(a, b_stack, context=ctx)
+        assert batched.output.shape == (h, a.n_rows, b_stack.shape[2])
+        assert batched.output.dtype == dtype
+        rtol = 1e-6 if dtype == np.float32 else 1e-2
+        for i in range(h):
+            single = ops.spmm(a, b_stack[i], context=ctx)
+            np.testing.assert_allclose(
+                batched.output[i], single.output, rtol=rtol, atol=rtol
+            )
+
+    @pytest.mark.parametrize("h", HEADS)
+    def test_spmm_per_item_values(self, rng, ctx, h):
+        """The ``(H, nnz)`` value-matrix form: each item multiplies its own
+        values (per-head attention probabilities) against one structure."""
+        a, b_stack = stacked_problem(rng, h)
+        values = rng.standard_normal((h, a.nnz)).astype(np.float32)
+        batched = ops.spmm_batched(a, b_stack, context=ctx, values=values)
+        for i in range(h):
+            single = ops.spmm(a.with_values(values[i]), b_stack[i], context=ctx)
+            np.testing.assert_allclose(
+                batched.output[i], single.output, rtol=1e-5, atol=1e-5
+            )
+
+    @pytest.mark.parametrize("h", HEADS)
+    def test_sddmm_column_stack(self, rng, ctx, h):
+        mask, q, k, _ = attention_problem(rng, h)
+        batched = ops.sddmm_batched(q, k, mask, context=ctx)
+        assert batched.output.shape == (mask.nnz, h)
+        for i in range(h):
+            single = ops.sddmm(q[i], k[i], mask, context=ctx)
+            np.testing.assert_allclose(
+                batched.output[:, i], single.output.values,
+                rtol=1e-5, atol=1e-5,
+            )
+
+    @pytest.mark.parametrize("h", HEADS)
+    @pytest.mark.parametrize("dtype", [np.float32, np.float16])
+    def test_sparse_softmax_value_matrix(self, rng, ctx, h, dtype):
+        a = random_sparse(rng, 64, 64, 0.3)
+        values = rng.standard_normal((a.nnz, h)).astype(dtype)
+        batched = ops.sparse_softmax_batched(a, values, context=ctx, scale=0.5)
+        assert batched.output.shape == (a.nnz, h)
+        assert batched.output.dtype == dtype
+        rtol = 1e-6 if dtype == np.float32 else 1e-2
+        for i in range(h):
+            single = ops.sparse_softmax(
+                a.with_values(values[:, i]), context=ctx, scale=0.5
+            )
+            np.testing.assert_allclose(
+                batched.output[:, i], single.output.values,
+                rtol=rtol, atol=rtol,
+            )
+
+    def test_spmm_rejects_flat_operand(self, rng, ctx):
+        a, b_stack = stacked_problem(rng, 2)
+        with pytest.raises(ValueError, match=r"\(H, k, n\)"):
+            ops.spmm_batched(a, b_stack[0], context=ctx)
+
+    def test_spmm_rejects_wrong_value_shape(self, rng, ctx):
+        a, b_stack = stacked_problem(rng, 2)
+        bad = np.ones((3, a.nnz), dtype=np.float32)
+        with pytest.raises(ValueError):
+            ops.spmm_batched(a, b_stack, context=ctx, values=bad)
+
+
+# ----------------------------------------------------------------------
+# Cost: one z-scaled launch amortizes (H - 1) per-launch overheads
+# ----------------------------------------------------------------------
+class TestBatchedRuntime:
+    @pytest.mark.parametrize("h", HEADS)
+    def test_spmm_runtime_le_loop(self, rng, ctx, h):
+        a, _ = stacked_problem(rng, h)
+        single = ops.spmm_cost(a, 16, context=ctx)
+        batched = ops.spmm_batched_cost(a, 16, h, context=ctx)
+        if h == 1:
+            assert batched.runtime_s == single.runtime_s
+        else:
+            assert batched.runtime_s < h * single.runtime_s
+
+    @pytest.mark.parametrize("h", HEADS)
+    def test_sddmm_runtime_le_loop(self, rng, ctx, h):
+        mask, _, _, _ = attention_problem(rng, h)
+        single = ops.sddmm_cost(mask, 32, context=ctx)
+        batched = ops.sddmm_batched_cost(mask, 32, h, context=ctx)
+        if h == 1:
+            assert batched.runtime_s == single.runtime_s
+        else:
+            assert batched.runtime_s < h * single.runtime_s
+
+    @pytest.mark.parametrize("h", HEADS)
+    def test_softmax_runtime_le_loop(self, rng, ctx, h):
+        a = random_sparse(rng, 64, 64, 0.3)
+        single = ops.sparse_softmax_cost(a, context=ctx)
+        batched = ops.sparse_softmax_batched_cost(a, h, context=ctx)
+        if h == 1:
+            assert batched.runtime_s == single.runtime_s
+        else:
+            assert batched.runtime_s < h * single.runtime_s
+
+    def test_batched_launch_is_z_scaled(self, rng, ctx):
+        a, _ = stacked_problem(rng, 4)
+        single = ops.spmm_cost(a, 16, context=ctx)
+        batched = ops.spmm_batched_cost(a, 16, 4, context=ctx)
+        assert batched.n_blocks == 4 * single.n_blocks
+        assert batched.flops == pytest.approx(4 * single.flops)
+
+    def test_batch_size_part_of_plan_identity(self, rng, ctx):
+        """h=4 and h=8 stacks must not share a cached plan."""
+        a, _ = stacked_problem(rng, 8)
+        r4 = ops.spmm_batched_cost(a, 16, 4, context=ctx)
+        r8 = ops.spmm_batched_cost(a, 16, 8, context=ctx)
+        assert r8.n_blocks == 2 * r4.n_blocks
+        assert r8.flops == pytest.approx(2 * r4.flops)
+        assert r8.runtime_s >= r4.runtime_s
+
+
+# ----------------------------------------------------------------------
+# Reliability: one report, one fallback for the whole batch
+# ----------------------------------------------------------------------
+class TestBatchedReliability:
+    def test_batch_fault_falls_back_once(self, rng, ctx):
+        """A fault in the batched launch costs ONE fallback covering all
+        H items — the loop would have paid one per head."""
+        h = 8
+        a, b_stack = stacked_problem(rng, h)
+        clean = ops.spmm_batched(a, b_stack, context=ExecutionContext(V100))
+        injector = FaultInjector(
+            [FaultSpec("launch", op="spmm_batched", backend="sputnik",
+                       rate=1.0)],
+            seed=1234,
+        )
+        chain = FallbackPolicy(("sputnik", "dense"), max_attempts=2)
+        with injector.attached(ctx):
+            result = ops.spmm_batched(a, b_stack, context=ctx, backend=chain)
+        report = result.reliability
+        assert report is not None
+        assert report.backend_used == "dense"
+        assert report.fallbacks == 1
+        assert ctx.last_dispatch_report is report
+        snap = ctx.telemetry_snapshot()
+        assert snap["spmm_batched/sputnik"]["fallbacks"] == 1
+        np.testing.assert_allclose(
+            result.output, clean.output, rtol=1e-5, atol=1e-5
+        )
+
+    def test_guardrails_scan_whole_stack(self, rng, ctx):
+        """validate=True scans the full (H, m, n) output stack; a clean
+        run comes back with a clean single report."""
+        a, b_stack = stacked_problem(rng, 4)
+        result = ops.spmm_batched(
+            a, b_stack, context=ctx, backend=["sputnik", "dense"],
+            validate=True,
+        )
+        assert result.reliability.clean
+        assert result.reliability.backend_used == "sputnik"
+
+    def test_attention_reports_cover_batch(self, rng, ctx):
+        """Policy-routed batched attention yields exactly three reports —
+        one per stage for the whole batch, not three per head."""
+        mask, q, k, v = attention_problem(rng, 4)
+        reports: list = []
+        out = sparse_attention_batched(
+            q, k, v, mask, V100,
+            policy=["sputnik"], reports=reports,
+        )
+        assert out.shape == q.shape
+        assert len(reports) == 3
+        assert all(r.backend_used == "sputnik" for r in reports)
+
+
+# ----------------------------------------------------------------------
+# Chunked SDDMM reference (bounded peak memory)
+# ----------------------------------------------------------------------
+class TestChunkedSddmmReference:
+    def test_chunked_equals_unchunked(self, rng, monkeypatch):
+        """Chunking the gathers over nnz blocks is bit-identical: each
+        nonzero's dot product is computed the same way either way."""
+        mask = random_sparse(rng, 48, 40, 0.3)
+        lhs = rng.standard_normal((48, 24)).astype(np.float32)
+        rhs = rng.standard_normal((40, 24)).astype(np.float32)
+        full = sparse_ops.sddmm_reference(lhs, rhs, mask)
+        monkeypatch.setattr(sparse_ops, "SDDMM_CHUNK_NNZ", 7)
+        chunked = sparse_ops.sddmm_reference(lhs, rhs, mask)
+        assert np.array_equal(full.values, chunked.values)
+
+    def test_chunked_scale_by_values(self, rng, monkeypatch):
+        mask = random_sparse(rng, 32, 32, 0.4)
+        lhs = rng.standard_normal((32, 16)).astype(np.float32)
+        rhs = rng.standard_normal((32, 16)).astype(np.float32)
+        full = sparse_ops.sddmm_reference(lhs, rhs, mask, scale_by_values=True)
+        monkeypatch.setattr(sparse_ops, "SDDMM_CHUNK_NNZ", 5)
+        chunked = sparse_ops.sddmm_reference(
+            lhs, rhs, mask, scale_by_values=True
+        )
+        assert np.array_equal(full.values, chunked.values)
+
+    def test_batched_gather_path_matches_dense_sample(self, rng, monkeypatch):
+        """The chunked-gather fallback and the dense-sample fast path of
+        the batched reference agree on the same problem."""
+        mask = random_sparse(rng, 48, 40, 0.3)
+        lhs = rng.standard_normal((4, 48, 16)).astype(np.float32)
+        rhs = rng.standard_normal((4, 40, 16)).astype(np.float32)
+        dense_path = sparse_ops.sddmm_batched_reference(lhs, rhs, mask)
+        # Force the gather path with a tiny chunk so chunking is exercised.
+        monkeypatch.setattr(sparse_ops, "SDDMM_DENSE_SAMPLE_DENSITY", 2.0)
+        monkeypatch.setattr(sparse_ops, "SDDMM_CHUNK_NNZ", 16)
+        gather_path = sparse_ops.sddmm_batched_reference(lhs, rhs, mask)
+        np.testing.assert_allclose(
+            dense_path, gather_path, rtol=1e-5, atol=1e-5
+        )
+
+
+# ----------------------------------------------------------------------
+# Model paths: attention and MobileNet ride the batched dispatch
+# ----------------------------------------------------------------------
+class TestBatchedModels:
+    @pytest.mark.parametrize("h", HEADS)
+    def test_sparse_attention_matches_loop(self, rng, h):
+        mask, q, k, v = attention_problem(rng, h)
+        loop_profile, batched_profile = Profile(), Profile()
+        loop = np.stack([
+            sparse_attention(q[i], k[i], v[i], mask, V100, loop_profile)
+            for i in range(h)
+        ])
+        batched = sparse_attention_batched(
+            q, k, v, mask, V100, batched_profile
+        )
+        np.testing.assert_allclose(batched, loop, rtol=1e-5, atol=1e-5)
+        # Three batched launches replace 3H per-head ones and never cost
+        # more simulated time.
+        assert len(batched_profile.records) == 3
+        assert len(loop_profile.records) == 3 * h
+        assert batched_profile.runtime_s <= loop_profile.runtime_s
+        if h > 1:
+            names = {r.name for r in batched_profile.records}
+            assert all(name.endswith(f"_x{h}") for name in names)
+
+    def test_dense_attention_matches_loop(self, rng):
+        h, seq, dk = 4, 32, 16
+        q, k, v = (
+            rng.standard_normal((h, seq, dk)).astype(np.float32)
+            for _ in range(3)
+        )
+        loop = np.stack([
+            dense_attention(q[i], k[i], v[i], V100) for i in range(h)
+        ])
+        batched = dense_attention_batched(q, k, v, V100)
+        np.testing.assert_allclose(batched, loop, rtol=1e-5, atol=1e-5)
+
+    def test_mobilenet_forward_batch_matches_per_image(self, rng, device):
+        model = MobileNetV1(width=0.25, sparse=True, seed=0)
+        images = rng.standard_normal((2, 3, 224, 224)).astype(np.float32)
+        profile = Profile()
+        batched = model.forward_batch(images, device, profile)
+        assert batched.shape == (2, 1000)
+        per_image = np.stack([
+            model.forward(img, device) for img in images
+        ])
+        np.testing.assert_allclose(batched, per_image, rtol=1e-3, atol=1e-3)
+        # The pointwise convs went down as z-scaled batch-of-2 launches.
+        assert any(r.name.endswith("_x2") for r in profile.records)
+
+    def test_mobilenet_forward_batch_validates_shape(self, device):
+        model = MobileNetV1(width=0.25, sparse=False, seed=0)
+        with pytest.raises(ValueError):
+            model.forward_batch(np.ones((3, 224, 224), np.float32), device)
+
+
+# ----------------------------------------------------------------------
+# Sweep engine: the h dimension
+# ----------------------------------------------------------------------
+class TestSweepBatchDimension:
+    @pytest.fixture(autouse=True)
+    def _isolate_default_contexts(self):
+        yield
+        ops.reset_default_contexts()
+        sweep_mod.reset_worker_state()
+
+    @staticmethod
+    def make_specs(n):
+        return [
+            MatrixSpec(
+                name=f"b{i}", model="test", layer=f"l{i}", rows=96,
+                cols=64, sparsity=0.8, row_cov=0.25, seed=900 + i,
+            )
+            for i in range(n)
+        ]
+
+    def test_build_tasks_h_cross_product(self):
+        tasks = build_tasks(self.make_specs(2), ["sputnik"], n=32, h=[1, 4])
+        assert len(tasks) == 4
+        assert sorted({t.h for t in tasks}) == [1, 4]
+
+    def test_row_key_back_compat(self):
+        """h=1 keeps the historical key so old resume files still match;
+        batched tasks append the depth."""
+        spec = self.make_specs(1)[0]
+        flat = build_tasks([spec], ["sputnik"], n=32, h=1)[0]
+        deep = build_tasks([spec], ["sputnik"], n=32, h=4)[0]
+        assert flat.row_key == "b0|sputnik|32"
+        assert deep.row_key == "b0|sputnik|32|h4"
+
+    def test_batched_depth_requires_batched_timer(self):
+        with pytest.raises(ValueError, match="no batched timer"):
+            build_tasks(self.make_specs(1), ["cusparse"], n=32, h=4)
+
+    def test_run_sweep_with_stack_depths(self, tmp_path):
+        rows, report = run_sweep(
+            self.make_specs(2), ["sputnik"], V100, n=32, h=[1, 4],
+            workers=1,
+        )
+        assert report.failed == 0
+        assert len(rows) == 4
+        by_h = {(row["problem"], row["h"]): row for row in rows}
+        for spec in ("b0", "b1"):
+            single = by_h[(spec, 1)]
+            batched = by_h[(spec, 4)]
+            assert batched["flops"] == pytest.approx(4 * single["flops"])
+            assert batched["runtime_s"] < 4 * single["runtime_s"]

@@ -203,6 +203,58 @@ class TestContextIntegration:
         assert ctx.telemetry.store_misses == 0
 
 
+class TestBatchedPlanEnvelope:
+    """The v3 envelope: batched plans (z-scaled launches, batch-size keys)
+    must round-trip through the store, and plans persisted under an older
+    version must self-heal instead of deserializing into the new batched
+    execute signatures."""
+
+    def test_version_covers_batched_envelope(self):
+        assert PLAN_STORE_VERSION >= 3
+
+    def test_batched_cost_round_trips_across_contexts(self, tmp_path, rng):
+        a = random_sparse(rng, 96, 64, 0.2)
+        cold = ops.ExecutionContext(V100, store=tmp_path / "store")
+        first = ops.spmm_batched_cost(a, 32, 4, V100, context=cold)
+        assert cold.store.stats.writes > 0
+
+        warm = ops.ExecutionContext(V100, store=tmp_path / "store")
+        second = ops.spmm_batched_cost(a, 32, 4, V100, context=warm)
+        assert warm.telemetry.store_hits > 0
+        assert second.runtime_s == first.runtime_s
+        assert second.flops == first.flops
+        assert second.n_blocks == first.n_blocks
+
+    def test_distinct_batch_sizes_distinct_entries(self, tmp_path, rng):
+        a = random_sparse(rng, 96, 64, 0.2)
+        ctx = ops.ExecutionContext(V100, store=tmp_path / "store")
+        writes_before = ctx.store.stats.writes
+        ops.spmm_batched_cost(a, 32, 4, V100, context=ctx)
+        after_h4 = ctx.store.stats.writes
+        ops.spmm_batched_cost(a, 32, 8, V100, context=ctx)
+        assert after_h4 > writes_before
+        assert ctx.store.stats.writes > after_h4
+
+    def test_stale_version_envelope_self_heals(self, tmp_path, rng):
+        """Rewriting every entry as the previous envelope version makes
+        them read as corrupt: evicted and rebuilt, never deserialized."""
+        a = random_sparse(rng, 96, 64, 0.2)
+        store_dir = tmp_path / "store"
+        seeded = ops.ExecutionContext(V100, store=store_dir)
+        baseline = ops.spmm_batched_cost(a, 32, 4, V100, context=seeded)
+
+        for path in store_dir.glob("*.plan"):
+            envelope = pickle.loads(path.read_bytes())
+            envelope["version"] = PLAN_STORE_VERSION - 1
+            path.write_bytes(pickle.dumps(envelope))
+
+        fresh = ops.ExecutionContext(V100, store=store_dir)
+        again = ops.spmm_batched_cost(a, 32, 4, V100, context=fresh)
+        assert again.runtime_s == baseline.runtime_s
+        assert again.n_blocks == baseline.n_blocks
+        assert fresh.telemetry.store_evictions > 0
+
+
 class TestDefaultContextInstall:
     def test_set_default_context_installs_and_returns(self, tmp_path):
         try:

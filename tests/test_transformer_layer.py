@@ -42,14 +42,25 @@ class TestTransformerLayer:
         x = np.random.default_rng(1).standard_normal((8, 16)).astype(np.float32)
         assert np.allclose(layer.forward(x, device), x, atol=1e-5)
 
-    def test_profile_records_sparse_kernels(self, rng, device):
-        seq, d = 64, 32
+    def test_profile_records_batched_sparse_kernels(self, rng, device):
+        """All heads dispatch as ONE batched launch per kernel stage (the
+        ``_x{H}`` suffix), not a per-head loop."""
+        seq, d, heads = 64, 32, 2
         mask = banded_random_mask(seq, band=8, off_diagonal_sparsity=0.9, seed=2)
-        layer = TransformerLayer(d, 2, 64, attention_mask=mask)
+        layer = TransformerLayer(d, heads, 64, attention_mask=mask)
         p = Profile()
         layer.forward(rng.standard_normal((seq, d)).astype(np.float32), device, p)
-        names = set(p.by_kernel())
-        assert {"sputnik_sddmm", "sparse_softmax", "sputnik_spmm_fp32"} <= names
+        by_kernel = p.by_kernel()
+        expected = {
+            f"sputnik_sddmm_x{heads}",
+            f"sparse_softmax_x{heads}",
+            f"sputnik_spmm_fp32_x{heads}",
+        }
+        assert expected <= set(by_kernel)
+        # One launch per stage for the whole stack — a per-head loop would
+        # record `heads` launches each (and drop the batch suffix).
+        for name in expected:
+            assert sum(1 for r in p.records if r.name == name) == 1
 
     def test_head_divisibility_validated(self):
         with pytest.raises(ValueError):
