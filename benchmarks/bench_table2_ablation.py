@@ -19,7 +19,7 @@ import numpy as np
 import pytest
 
 from repro.bench import geometric_mean, sputnik_sddmm_time, sputnik_spmm_time
-from repro.core.selection import select_sddmm_config, select_spmm_config
+from repro.tune import select_sddmm_config, select_spmm_config
 from repro.datasets import dnn_corpus, problem_grid
 from repro.gpu import V100
 

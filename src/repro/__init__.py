@@ -18,6 +18,9 @@ evaluation on a software model of a V100-class GPU (see DESIGN.md):
 - :mod:`repro.nn` — sparse layers, attention, the Table III Transformer,
   the Table IV MobileNetV1, RNN cells, and magnitude pruning;
 - :mod:`repro.bench` — the sweep runner and speedup statistics;
+- :mod:`repro.tune` — config selection behind ``selector=``: the paper's
+  Section VII heuristics, the oracle, and a cost-model-driven autotuner
+  whose winners persist in the plan store;
 - :mod:`repro.ops` — the unified operator dispatch layer: a kernel
   registry (swap backends by string), per-matrix plan caching, and
   telemetry. All higher layers call kernels through it;
@@ -41,14 +44,12 @@ from .core import (
     SddmmConfig,
     SpmmConfig,
     sddmm,
-    select_sddmm_config,
-    select_spmm_config,
     sparse_softmax,
     spmm,
 )
 from .gpu import GTX1080, V100, DeviceSpec, get_device
 from .sparse import CSRMatrix, sddmm_reference, sparse_softmax_reference, spmm_reference
-from . import ops, reliability
+from . import ops, reliability, tune
 from .ops import ExecutionContext, default_context
 
 __version__ = "1.0.0"
@@ -56,6 +57,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ops",
     "reliability",
+    "tune",
     "ExecutionContext",
     "default_context",
     "spmm",
@@ -64,8 +66,6 @@ __all__ = [
     "SpmmConfig",
     "SddmmConfig",
     "KernelResult",
-    "select_spmm_config",
-    "select_sddmm_config",
     "CSRMatrix",
     "spmm_reference",
     "sddmm_reference",

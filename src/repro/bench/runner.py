@@ -28,26 +28,42 @@ BatchedSpmmTimer = Callable[[CSRMatrix, int, int, DeviceSpec], ExecutionResult]
 # SpMM timers (cost-only)
 # ----------------------------------------------------------------------
 def sputnik_spmm_time(
-    a: CSRMatrix, n: int, device: DeviceSpec, config: SpmmConfig | None = None
+    a: CSRMatrix,
+    n: int,
+    device: DeviceSpec,
+    config: SpmmConfig | None = None,
+    *,
+    selector: str = "heuristic",
 ) -> ExecutionResult:
-    return ops.spmm_cost(a, n, device, config)
+    return ops.spmm_cost(a, n, device, config, selector=selector)
 
 
 def cusparse_spmm_time(
-    a: CSRMatrix, n: int, device: DeviceSpec, precision: str = "fp32"
+    a: CSRMatrix,
+    n: int,
+    device: DeviceSpec,
+    precision: str = "fp32",
+    *,
+    selector: str = "heuristic",
 ) -> ExecutionResult:
     return ops.spmm_cost(a, n, device, backend="cusparse", precision=precision)
 
 
-def merge_spmm_time(a: CSRMatrix, n: int, device: DeviceSpec) -> ExecutionResult:
+def merge_spmm_time(
+    a: CSRMatrix, n: int, device: DeviceSpec, *, selector: str = "heuristic"
+) -> ExecutionResult:
     return ops.spmm_cost(a, n, device, backend="merge")
 
 
-def aspt_spmm_time(a: CSRMatrix, n: int, device: DeviceSpec) -> ExecutionResult:
+def aspt_spmm_time(
+    a: CSRMatrix, n: int, device: DeviceSpec, *, selector: str = "heuristic"
+) -> ExecutionResult:
     return ops.spmm_cost(a, n, device, backend="aspt")
 
 
-def dense_spmm_time(a: CSRMatrix, n: int, device: DeviceSpec) -> ExecutionResult:
+def dense_spmm_time(
+    a: CSRMatrix, n: int, device: DeviceSpec, *, selector: str = "heuristic"
+) -> ExecutionResult:
     """The dense-GEMM equivalent of the sparse problem (Figure 1's line)."""
     return ops.spmm_cost(a, n, device, backend="dense")
 
@@ -57,13 +73,15 @@ def dense_spmm_time(a: CSRMatrix, n: int, device: DeviceSpec) -> ExecutionResult
 # shared topology, costed as a single z-scaled launch.
 # ----------------------------------------------------------------------
 def sputnik_spmm_batched_time(
-    a: CSRMatrix, n: int, h: int, device: DeviceSpec
+    a: CSRMatrix, n: int, h: int, device: DeviceSpec, *,
+    selector: str = "heuristic",
 ) -> ExecutionResult:
-    return ops.spmm_batched_cost(a, n, h, device)
+    return ops.spmm_batched_cost(a, n, h, device, selector=selector)
 
 
 def dense_spmm_batched_time(
-    a: CSRMatrix, n: int, h: int, device: DeviceSpec
+    a: CSRMatrix, n: int, h: int, device: DeviceSpec, *,
+    selector: str = "heuristic",
 ) -> ExecutionResult:
     return ops.spmm_batched_cost(a, n, h, device, backend="dense")
 
@@ -72,18 +90,27 @@ def dense_spmm_batched_time(
 # SDDMM timers (cost-only); ``k`` is the dot-product (inner) dimension.
 # ----------------------------------------------------------------------
 def sputnik_sddmm_time(
-    mask: CSRMatrix, k: int, device: DeviceSpec, config: SddmmConfig | None = None
+    mask: CSRMatrix,
+    k: int,
+    device: DeviceSpec,
+    config: SddmmConfig | None = None,
+    *,
+    selector: str = "heuristic",
 ) -> ExecutionResult:
-    return ops.sddmm_cost(mask, k, device, config)
+    return ops.sddmm_cost(mask, k, device, config, selector=selector)
 
 
-def cusparse_sddmm_time(mask: CSRMatrix, k: int, device: DeviceSpec) -> ExecutionResult:
+def cusparse_sddmm_time(
+    mask: CSRMatrix, k: int, device: DeviceSpec, *, selector: str = "heuristic"
+) -> ExecutionResult:
     """Constrained GEMM plus the explicit operand transpose, as timed in
     the paper's benchmarks."""
     return ops.sddmm_cost(mask, k, device, backend="cusparse")
 
 
-def aspt_sddmm_time(mask: CSRMatrix, k: int, device: DeviceSpec) -> ExecutionResult:
+def aspt_sddmm_time(
+    mask: CSRMatrix, k: int, device: DeviceSpec, *, selector: str = "heuristic"
+) -> ExecutionResult:
     return ops.sddmm_cost(mask, k, device, backend="aspt")
 
 
@@ -143,6 +170,7 @@ class BenchRow:
     runtime_s: float
     flops: float
     h: int = 1
+    selector: str = "heuristic"
     status: str = "ok"
     error: str = ""
     wall_s: float = 0.0
@@ -171,14 +199,17 @@ def _telemetry_totals(ctx) -> dict[str, int | float]:
 
 
 def _measure(
-    timer, label: str, name: str, matrix: CSRMatrix, dim: int, device, h: int = 1
+    timer, label: str, name: str, matrix: CSRMatrix, dim: int, device,
+    h: int = 1, selector: str = "heuristic",
 ) -> BenchRow:
     """Run one timer, converting a raised kernel failure into a failed row.
 
     Each row records its wall-clock duration and the delta of the shared
     context's aggregate telemetry across the call. ``h > 1`` calls a
     batched timer (``timer(matrix, dim, h, device)``) and scales the
-    nominal flop count by the stack depth.
+    nominal flop count by the stack depth. ``selector`` picks the config
+    selection policy the timer dispatches with (and is recorded in the
+    row).
     """
     base = dict(
         problem=label,
@@ -189,13 +220,20 @@ def _measure(
         nnz=matrix.nnz,
         flops=2.0 * matrix.nnz * dim * h,
         h=h,
+        selector=selector,
     )
     ctx = ops.default_context(device)
     before = _telemetry_totals(ctx)
+    # Ad-hoc timers (tests, custom suites) predate the selector dimension;
+    # only registered timers are guaranteed to accept the keyword, so the
+    # default rides on their own default instead of being passed.
+    kwargs = {} if selector == "heuristic" else {"selector": selector}
     start = time.perf_counter()
     try:
-        result = timer(matrix, dim, device) if h == 1 else timer(
-            matrix, dim, h, device
+        result = (
+            timer(matrix, dim, device, **kwargs)
+            if h == 1
+            else timer(matrix, dim, h, device, **kwargs)
         )
     except Exception as exc:  # noqa: BLE001 - the sweep must keep going
         wall_s = time.perf_counter() - start

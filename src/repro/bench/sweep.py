@@ -51,17 +51,23 @@ class SweepTask:
     kernel: str
     n: int
     h: int = 1
+    selector: str = "heuristic"
 
     @property
     def row_key(self) -> str:
         """Stable identity used for resume bookkeeping and store keys.
 
-        Unbatched tasks keep the historical ``spec|kernel|n`` form so
-        resume files written before the ``h`` dimension existed still
-        match; batched tasks append ``|h{h}``.
+        Unbatched heuristic tasks keep the historical ``spec|kernel|n``
+        form so resume files written before the ``h`` and ``selector``
+        dimensions existed still match; batched tasks append ``|h{h}``
+        and non-heuristic selectors append ``|sel:{selector}``.
         """
         key = f"{self.spec.name}|{self.kernel}|{self.n}"
-        return key if self.h == 1 else f"{key}|h{self.h}"
+        if self.h != 1:
+            key = f"{key}|h{self.h}"
+        if self.selector != "heuristic":
+            key = f"{key}|sel:{self.selector}"
+        return key
 
 
 @dataclass
@@ -95,13 +101,19 @@ def build_tasks(
     kernels: Sequence[str],
     n: int | Sequence[int] = 64,
     h: int | Sequence[int] = 1,
+    selector: str = "heuristic",
 ) -> list[SweepTask]:
     """Expand specs × kernels × batch sizes × stack depths into tasks.
 
     A spec's own ``batch_columns`` (when set) override the sweep-level
     ``n``; unknown kernel names fail fast here rather than inside a worker.
     Stack depths above 1 require the kernel to have a batched timer.
+    ``selector`` picks the config-selection policy every task dispatches
+    with (validated here so a typo fails before the pool spins up).
     """
+    from ..tune import resolve_selector
+
+    selector = resolve_selector(selector).name
     stacks = (h,) if isinstance(h, int) else tuple(h)
     needs_batched = any(depth > 1 for depth in stacks)
     for name in kernels:
@@ -124,7 +136,7 @@ def build_tasks(
                     tasks.append(
                         SweepTask(
                             spec=spec, kernel=kernel, n=int(cols),
-                            h=int(depth),
+                            h=int(depth), selector=selector,
                         )
                     )
     return tasks
@@ -181,10 +193,16 @@ def reset_worker_state() -> None:
 
 
 def _row_store_key(device: DeviceSpec, task: SweepTask) -> tuple:
-    # h == 1 keeps the historical 5-tuple so pre-batching store entries
-    # still hit; batched tasks get the stack depth appended.
+    # h == 1 / heuristic selection keeps the historical 5-tuple so
+    # pre-batching store entries still hit; batched tasks append the stack
+    # depth (int) and non-heuristic selectors the selector name (str) —
+    # the types differ, so the suffixes cannot collide.
     key = ("sweep_row", device, repr(task.spec), task.kernel, task.n)
-    return key if task.h == 1 else key + (task.h,)
+    if task.h != 1:
+        key = key + (task.h,)
+    if task.selector != "heuristic":
+        key = key + (task.selector,)
+    return key
 
 
 def _worker_tracer(ctx, key: tuple):
@@ -262,18 +280,19 @@ def _run_chunk(
                     kernel=task.kernel,
                     n=task.n,
                     h=task.h,
+                    selector=task.selector,
                 ):
                     row = asdict(
                         _measure(
                             timer, spec.name, task.kernel, matrix, task.n,
-                            device, h=task.h,
+                            device, h=task.h, selector=task.selector,
                         )
                     )
             else:
                 row = asdict(
                     _measure(
                         timer, spec.name, task.kernel, matrix, task.n, device,
-                        h=task.h,
+                        h=task.h, selector=task.selector,
                     )
                 )
             if store is not None and row["status"] == "ok":
@@ -354,6 +373,7 @@ def run_sweep(
     *,
     n: int | Sequence[int] = 64,
     h: int | Sequence[int] = 1,
+    selector: str = "heuristic",
     workers: int = 1,
     chunk_size: int = 8,
     store_path: str | Path | None = None,
@@ -378,8 +398,13 @@ def run_sweep(
     - ``h`` adds a batched-execution dimension: each depth above 1 times
       the kernel through the batched dispatch path (one z-scaled launch
       per stack) and suffixes the row key with ``|h{depth}``.
+    - ``selector`` picks the config-selection policy every task dispatches
+      with (``"heuristic"``, ``"oracle"``, or ``"tuned"``); non-default
+      selectors suffix the row key with ``|sel:{selector}``, so tuned and
+      heuristic sweeps resume independently from one JSONL, and tuned
+      winners persist in the shared plan store for warm re-runs.
     """
-    tasks = build_tasks(specs, kernels, n=n, h=h)
+    tasks = build_tasks(specs, kernels, n=n, h=h, selector=selector)
     total = len(tasks)
     out_file = Path(out_path) if out_path is not None else None
     store_str = str(store_path) if store_path is not None else None

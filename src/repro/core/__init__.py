@@ -5,10 +5,12 @@ Public entry points:
 - :func:`spmm` — sparse matrix × dense matrix (Section V).
 - :func:`sddmm` — sampled dense–dense matmul, ``A B^T ∘ I[C]`` (Section VI).
 - :func:`sparse_softmax` — row softmax over CSR values (Section VII-C).
-- :func:`select_spmm_config` / :func:`select_sddmm_config` /
-  :func:`oracle_spmm_config` — kernel selection (Section VII).
 - :class:`SpmmConfig` / :class:`SddmmConfig` — per-optimization toggles for
   ablation (Table II).
+
+Config-selection policies (the Section VII heuristics, the oracle, and
+the autotuner) live in :mod:`repro.tune`; this package keeps only the
+selection math they share (:mod:`repro.core.selection`).
 """
 
 from .csc_spmm import (
@@ -39,11 +41,7 @@ from .sddmm import (
 )
 from .selection import (
     next_power_of_two,
-    oracle_spmm_config,
     pad_batch_for_vectors,
-    select_sddmm_config,
-    select_spmm_config,
-    spmm_candidates,
     widest_vector_width,
 )
 from .sparse_softmax import (
@@ -113,10 +111,6 @@ __all__ = [
     "KernelResult",
     "SpmmTiling",
     "derive_tiling",
-    "select_spmm_config",
-    "select_sddmm_config",
-    "oracle_spmm_config",
-    "spmm_candidates",
     "pad_batch_for_vectors",
     "next_power_of_two",
     "widest_vector_width",

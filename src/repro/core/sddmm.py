@@ -122,7 +122,9 @@ def build_launch(
         io_instr += 2.0 * t / warp
     other = lhs_loads + rhs_loads + reduce_instr + io_instr
 
-    eb = 4.0
+    # Honor the config's precision regime: mixed configs load/store fp16
+    # values (the index bytes already follow the mask's operand dtype).
+    eb = float(config.value_dtype.itemsize)
     lhs_bytes = np.full(n_real, k * eb)
     rhs_bytes = strip_nnz * k * eb
     out_bytes = strip_nnz * (eb + mask.index_bytes)
@@ -237,9 +239,9 @@ def plan_sddmm(
 ) -> SddmmPlan:
     """Build the full SDDMM plan: costed launch plus simulated run."""
     if config is None:
-        from .selection import select_sddmm_config
+        from ..tune import default_sddmm_config
 
-        config = select_sddmm_config(k)
+        config = default_sddmm_config(mask, k)
     launch, drag = build_launch(mask, k, config, device)
     return SddmmPlan(
         config=config,
@@ -308,9 +310,9 @@ def plan_sddmm_batched(
     if h <= 0:
         raise ValueError("batch size must be positive")
     if config is None:
-        from .selection import select_sddmm_config
+        from ..tune import default_sddmm_config
 
-        config = select_sddmm_config(k)
+        config = default_sddmm_config(mask, k)
     base, drag = build_launch(mask, k, config, device)
     launch = base.batched(h)
     return SddmmBatchedPlan(
@@ -400,9 +402,9 @@ def sddmm(
 ) -> KernelResult:
     """Run Sputnik SDDMM: exact numerics plus simulated execution cost."""
     if config is None:
-        from .selection import select_sddmm_config
+        from ..tune import default_sddmm_config
 
-        config = select_sddmm_config(np.asarray(lhs).shape[1])
+        config = default_sddmm_config(mask, np.asarray(lhs).shape[1])
     lhs, rhs = _validate(lhs, rhs, mask, config)
     plan = plan_sddmm(mask, lhs.shape[1], device, config)
     return KernelResult(

@@ -1,21 +1,14 @@
-"""Kernel-selection heuristics (Section VII, first paragraph).
+"""Shared selection math: tile rounding, vector widths, batch padding.
 
-For SpMM the paper selects "the n-dimension tile size to be N, rounded up to
-a power of 2, up to a maximum of 64"; for SDDMM a fixed n-dimension tile of
-32; and for both "the widest vector memory operations possible". The
-MobileNet study additionally uses an *oracle* selector for a handful of
-layers where the heuristic is sub-optimal (Section VII-D1) — implemented
-here by exhaustively costing a candidate menu on the simulator.
+The selection *policies* — the paper's Section VII heuristics, the oracle,
+and the autotuner — live in :mod:`repro.tune`; this module keeps only the
+arithmetic they (and the kernels) share, so ``core`` never depends on the
+tuning layer.
 """
 
 from __future__ import annotations
 
 import numpy as np
-
-from ..gpu.device import DeviceSpec
-from ..gpu.executor import execute
-from ..sparse.csr import CSRMatrix
-from .config import Precision, SddmmConfig, SpmmConfig
 
 #: Hard cap on the SpMM n-dimension tile size.
 MAX_TILE_X = 64
@@ -34,71 +27,6 @@ def widest_vector_width(*dims: int) -> int:
         if all(d % vw == 0 for d in dims if d > 0):
             return vw
     return 1
-
-
-def select_spmm_config(
-    a: CSRMatrix, n: int, precision: Precision = "fp32"
-) -> SpmmConfig:
-    """The paper's SpMM heuristic: tile-N = min(64, next_pow2(N)), widest
-    vector width that divides both the tile and N."""
-    del a  # the published heuristic keys only on the problem's N dimension
-    tile = min(MAX_TILE_X, next_power_of_two(n))
-    vw = widest_vector_width(tile, n)
-    return SpmmConfig(
-        block_items_x=tile,
-        block_items_k=32,
-        vector_width=vw,
-        precision=precision,
-    )
-
-
-def select_sddmm_config(k: int, precision: Precision = "fp32") -> SddmmConfig:
-    """The paper's SDDMM heuristic: n-dimension tile 32, widest vectors."""
-    return SddmmConfig(
-        nonzeros_per_block=32,
-        vector_width=widest_vector_width(k),
-        precision=precision,
-    )
-
-
-def spmm_candidates(n: int, precision: Precision = "fp32") -> list[SpmmConfig]:
-    """Menu of plausible SpMM variants for the oracle selector."""
-    configs = []
-    for tile in (8, 16, 32, 64):
-        if tile > next_power_of_two(n) and tile > 8:
-            continue
-        for vw in (1, 2, 4):
-            if tile % vw or (vw > 1 and n % vw):
-                continue
-            configs.append(
-                SpmmConfig(
-                    block_items_x=tile,
-                    block_items_k=32,
-                    vector_width=vw,
-                    precision=precision,
-                )
-            )
-    return configs
-
-
-def oracle_spmm_config(
-    a: CSRMatrix, n: int, device: DeviceSpec, precision: Precision = "fp32"
-) -> SpmmConfig:
-    """Pick the fastest SpMM config by costing every candidate (no numerics).
-
-    This is the "oracle kernel selector" the MobileNet evaluation applies to
-    the four 1x1 convolutions where the heuristic mispredicts.
-    """
-    from .spmm import build_launch
-
-    best: tuple[float, SpmmConfig] | None = None
-    for config in spmm_candidates(n, precision):
-        runtime = execute(build_launch(a, n, config, device), device).runtime_s
-        if best is None or runtime < best[0]:
-            best = (runtime, config)
-    if best is None:
-        raise ValueError(f"no legal SpMM configuration for N={n}")
-    return best[1]
 
 
 def pad_batch_for_vectors(b: np.ndarray, multiple: int = 4) -> np.ndarray:

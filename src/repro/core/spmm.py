@@ -78,8 +78,8 @@ def _validate(a: CSRMatrix, b: np.ndarray, config: SpmmConfig) -> np.ndarray:
     if config.vector_width > 1 and n % config.vector_width:
         raise ValueError(
             f"N={n} not divisible by vector width {config.vector_width}; "
-            "pad the batch (Section VII-A1) or pick a config via "
-            "repro.core.selection"
+            "pad the batch (Section VII-A1) or resolve a config via "
+            "repro.tune"
         )
     return b
 
@@ -310,10 +310,9 @@ def plan_spmm(
     numeric multiply.
     """
     if config is None:
-        from .selection import select_spmm_config
+        from ..tune import default_spmm_config
 
-        precision = "mixed" if a.values.dtype == np.float16 else "fp32"
-        config = select_spmm_config(a, n, precision)
+        config = default_spmm_config(a, n)
     tiling, order, groups, extents = _analyze(a, config, device)
     launch = _launch_from_analysis(a, n, config, device, tiling, groups, extents)
     return SpmmPlan(
@@ -377,10 +376,9 @@ def plan_spmm_batched(
     if h <= 0:
         raise ValueError("batch size must be positive")
     if config is None:
-        from .selection import select_spmm_config
+        from ..tune import default_spmm_config
 
-        precision = "mixed" if a.values.dtype == np.float16 else "fp32"
-        config = select_spmm_config(a, n, precision)
+        config = default_spmm_config(a, n)
     tiling, order, groups, extents = _analyze(a, config, device)
     del order
     launch = _launch_from_analysis(
@@ -471,9 +469,8 @@ def spmm(
 ) -> KernelResult:
     """Run Sputnik SpMM: exact numerics plus simulated execution cost."""
     if config is None:
-        from .selection import select_spmm_config
+        from ..tune import default_spmm_config
 
-        precision = "mixed" if a.values.dtype == np.float16 else "fp32"
-        config = select_spmm_config(a, np.asarray(b).shape[1], precision)
+        config = default_spmm_config(a, np.asarray(b).shape[1])
     b = _validate(a, b, config)
     return execute_spmm(plan_spmm(a, b.shape[1], device, config), a, b)

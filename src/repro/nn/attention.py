@@ -74,6 +74,7 @@ def sparse_attention(
     *,
     policy=None,
     validate: bool = False,
+    selector: str = "heuristic",
     reports: list | None = None,
 ) -> np.ndarray:
     """Single-head sparse attention: SDDMM -> sparse softmax -> SpMM.
@@ -82,21 +83,29 @@ def sparse_attention(
     (``Q K^T ∘ I[Y]``, Section IV-B); causality lives in the mask itself.
 
     ``policy`` (a backend chain or FallbackPolicy) and ``validate`` route
-    all three kernels through the reliability layer; when ``reports`` is a
-    list, each kernel's DispatchReport is appended so callers can inspect
-    retries/fallbacks/degraded-mode completions per stage.
+    all three kernels through the reliability layer; ``selector`` picks
+    the config-selection policy for the SDDMM and SpMM stages; when
+    ``reports`` is a list, each kernel's DispatchReport is appended so
+    callers can inspect retries/fallbacks/degraded-mode completions per
+    stage.
     """
     q = np.asarray(q, np.float32)
     k = np.asarray(k, np.float32)
     v = np.asarray(v, np.float32)
     dk = q.shape[1]
     backend = policy if policy is not None else "sputnik"
-    scores = ops.sddmm(q, k, mask, device, backend=backend, validate=validate)
+    scores = ops.sddmm(
+        q, k, mask, device, backend=backend, selector=selector,
+        validate=validate,
+    )
     probs = ops.sparse_softmax(
         scores.output, device, scale=1.0 / np.sqrt(dk),
         backend=backend, validate=validate,
     )
-    out = ops.spmm(probs.output, v, device, backend=backend, validate=validate)
+    out = ops.spmm(
+        probs.output, v, device, backend=backend, selector=selector,
+        validate=validate,
+    )
     if reports is not None:
         reports.extend(
             r.reliability
@@ -158,6 +167,7 @@ def sparse_attention_batched(
     *,
     policy=None,
     validate: bool = False,
+    selector: str = "heuristic",
     reports: list | None = None,
 ) -> np.ndarray:
     """Multi-head sparse attention over ``(H, seq, dk)`` stacks.
@@ -177,14 +187,16 @@ def sparse_attention_batched(
     dk = q.shape[2]
     backend = policy if policy is not None else "sputnik"
     scores = ops.sddmm_batched(
-        q, k, mask, device, backend=backend, validate=validate
+        q, k, mask, device, backend=backend, selector=selector,
+        validate=validate,
     )
     probs = ops.sparse_softmax_batched(
         mask, scores.output, device, scale=1.0 / np.sqrt(dk),
         backend=backend, validate=validate,
     )
     out = ops.spmm_batched(
-        mask, v, device, backend=backend, validate=validate,
+        mask, v, device, backend=backend, selector=selector,
+        validate=validate,
         values=np.ascontiguousarray(probs.output.T),
     )
     if reports is not None:

@@ -66,11 +66,16 @@ class SparseLinear:
         config: SpmmConfig | None = None,
         policy=None,
         validate: bool = False,
+        selector: str = "heuristic",
     ) -> None:
         self.config = config
         #: Backend string, chain, or FallbackPolicy for every kernel the
         #: layer launches; ``None`` means the plain sputnik fast path.
         self.policy = policy
+        #: Config selector for every kernel the layer launches when no
+        #: explicit ``config`` is given (``"heuristic"``, ``"oracle"``,
+        #: ``"tuned"``, or a :class:`~repro.tune.Selector` instance).
+        self.selector = selector
         #: Run the numerical guardrails on every output (fp16 overflow
         #: triggers a degraded fp32 re-run, flagged on ``self.degraded``).
         self.validate = validate
@@ -123,7 +128,8 @@ class SparseLinear:
         """``Y = W X``; ``x`` is ``(in_features, batch)``."""
         result = ops.spmm(
             self.weight, x, device, self.config,
-            backend=self._backend(), validate=self.validate,
+            backend=self._backend(), selector=self.selector,
+            validate=self.validate,
         )
         self._record(result)
         if profile is not None:
@@ -146,7 +152,8 @@ class SparseLinear:
         x32 = np.asarray(x, dtype=np.float32)
         grad_w = ops.sddmm(
             grad_out, x32, self.weight, device,
-            backend=self._backend(), validate=self.validate,
+            backend=self._backend(), selector=self.selector,
+            validate=self.validate,
         )
         self._record(grad_w)
         if profile is not None:
@@ -154,7 +161,8 @@ class SparseLinear:
 
         grad_x = ops.spmm(
             self._weight_transpose(), grad_out, device,
-            backend=self._backend(), validate=self.validate,
+            backend=self._backend(), selector=self.selector,
+            validate=self.validate,
         )
         self._record(grad_x)
         if profile is not None:

@@ -36,6 +36,9 @@ class TransformerLayer:
         attention_mask: a CSR connectivity mask for sparse attention, or
             ``None`` for dense causal attention.
         seed: weight initialization seed.
+        selector: config-selection policy for the sparse attention
+            kernels (``"heuristic"``, ``"oracle"``, ``"tuned"``, or a
+            :class:`~repro.tune.Selector` instance).
     """
 
     def __init__(
@@ -45,6 +48,7 @@ class TransformerLayer:
         d_ffn: int,
         attention_mask: CSRMatrix | None = None,
         seed: int = 0,
+        selector: str = "heuristic",
     ) -> None:
         if d_model % n_heads:
             raise ValueError("d_model must divide evenly across heads")
@@ -52,6 +56,7 @@ class TransformerLayer:
         self.n_heads = n_heads
         self.head_dim = d_model // n_heads
         self.mask = attention_mask
+        self.selector = selector
         rng = np.random.default_rng(seed)
 
         def init(rows: int, cols: int) -> np.ndarray:
@@ -106,7 +111,7 @@ class TransformerLayer:
             attended_stack = dense_attention_batched(q, k, v, device, profile)
         else:
             attended_stack = sparse_attention_batched(
-                q, k, v, self.mask, device, profile
+                q, k, v, self.mask, device, profile, selector=self.selector
             )
         attended = np.ascontiguousarray(
             attended_stack.transpose(1, 0, 2)
@@ -131,12 +136,14 @@ class TransformerStack:
         d_ffn: int,
         attention_mask: CSRMatrix | None = None,
         seed: int = 0,
+        selector: str = "heuristic",
     ) -> None:
         if n_layers <= 0:
             raise ValueError("need at least one layer")
         self.layers = [
             TransformerLayer(
-                d_model, n_heads, d_ffn, attention_mask, seed=seed + i
+                d_model, n_heads, d_ffn, attention_mask, seed=seed + i,
+                selector=selector,
             )
             for i in range(n_layers)
         ]

@@ -27,11 +27,6 @@ from ..core.sddmm import (
     plan_sddmm,
     plan_sddmm_batched,
 )
-from ..core.selection import (
-    oracle_spmm_config,
-    select_sddmm_config,
-    select_spmm_config,
-)
 from ..core.sparse_softmax import (
     SparseSoftmaxBatchedPlan,
     SparseSoftmaxPlan,
@@ -48,11 +43,10 @@ from ..gpu.device import V100, DeviceSpec
 from ..gpu.executor import ExecutionResult
 from ..sparse.csc import CSCMatrix
 from ..sparse.csr import CSRMatrix
+from ..tune import TuningResult, resolve_selector
+from ..tune import SELECTORS as SELECTORS  # noqa: PLC0414 - re-export
 from .plans import DEFAULT_MAX_PLANS, PlanCache, matrix_fingerprint
 from .store import PlanStore
-
-#: Valid config selectors for ops that resolve their own config.
-SELECTORS = ("heuristic", "oracle")
 
 #: The telemetry snapshot contract: every per-(op, backend) counter and its
 #: value type. ``telemetry_snapshot()`` rows contain exactly these keys, and
@@ -327,7 +321,7 @@ class ExecutionContext:
             PlanStore(store) if isinstance(store, (str, Path)) else store
         )
 
-    def _cached(self, op: str, backend: str, key: tuple, build):
+    def _cached(self, op: str, backend: str, key: tuple, build, storable=None):
         """Two-tier plan lookup: memory cache, then the persistent store,
         then ``build`` (persisting the result to both tiers).
 
@@ -336,6 +330,11 @@ class ExecutionContext:
         the direct cache path, so the reliability policies keep working; a
         corrupt *on-disk* entry is self-healing (evicted and rebuilt) and
         only surfaces in the ``store_evictions`` telemetry.
+
+        ``storable`` (a predicate over the built value) gates the on-disk
+        write: a tuning result that *fell back* under injected faults is
+        kept in memory for this process but never persisted, so a later
+        fault-free run re-tunes instead of inheriting the degraded pick.
         """
         span = self.tracer.current if self.tracer is not None else None
         value = self.plans.get(key)
@@ -357,7 +356,7 @@ class ExecutionContext:
         if span is not None:
             span.set(plan_cache="miss", plan_source="built")
         self.plans.put(key, value)
-        if self.store is not None:
+        if self.store is not None and (storable is None or storable(value)):
             self.store.save((self.device,) + key, value)
         return value
 
@@ -400,8 +399,43 @@ class ExecutionContext:
         return self.metrics.snapshot()
 
     # ------------------------------------------------------------------
-    # Config selection (cached per topology)
+    # Config selection (cached per topology, via the selector protocol)
     # ------------------------------------------------------------------
+    def _select_config(self, op: str, sel, key: tuple, build):
+        """Resolve a config through one selector, with selector-aware
+        caching and span labeling.
+
+        ``persist`` selectors (oracle, tuned — anything that costs
+        candidates) go through the two-tier :meth:`_cached` path so their
+        winners amortize across processes; the heuristic stays memory-only.
+        A :class:`~repro.tune.TuningResult` is cached whole (stats and
+        all) and unwrapped to its config here.
+        """
+        span = self.tracer.current if self.tracer is not None else None
+        if span is not None:
+            span.set(selector=sel.name)
+        if sel.persist:
+            value = self._cached(
+                op,
+                sel.name,
+                key,
+                build,
+                storable=lambda v: not getattr(v, "fell_back", False),
+            )
+        else:
+            value = self.plans.get(key)
+            if value is None:
+                value = build()
+                self.plans.put(key, value)
+        if isinstance(value, TuningResult):
+            if span is not None:
+                span.set(
+                    candidates_costed=value.candidates_costed,
+                    tuning_fell_back=value.fell_back,
+                )
+            return value.config
+        return value
+
     def spmm_config(
         self,
         a: CSRMatrix,
@@ -409,31 +443,43 @@ class ExecutionContext:
         selector: str = "heuristic",
         fingerprint: str | None = None,
     ) -> SpmmConfig:
-        """Resolve an SpMM config via the paper's heuristic or the oracle.
+        """Resolve an SpMM config through a selector (name or instance).
 
-        Both selections are cached: the heuristic for uniformity, the
-        oracle because it costs every candidate variant (Section VII-B).
+        Every selection is cached under a selector-qualified key: the
+        heuristic for uniformity, the oracle and the tuner because they
+        cost candidate variants on the simulator (Section VII-B).
         """
-        if selector not in SELECTORS:
-            raise ValueError(
-                f"unknown selector {selector!r}; expected one of {SELECTORS}"
-            )
+        sel = resolve_selector(selector)
         fp = fingerprint or matrix_fingerprint(a)
         precision = "mixed" if a.values.dtype == np.float16 else "fp32"
-        key = ("spmm_config", fp, n, precision, selector)
-        if selector == "oracle":
-            # The oracle costs every candidate variant — worth persisting.
-            return self._cached(
-                "spmm_config",
-                "oracle",
-                key,
-                lambda: oracle_spmm_config(a, n, self.device, precision),
-            )
-        config = self.plans.get(key)
-        if config is None:
-            config = select_spmm_config(a, n, precision)
-            self.plans.put(key, config)
-        return config
+        key = ("spmm_config", fp, n, precision, sel.name)
+        return self._select_config(
+            "spmm_config", sel, key, lambda: sel.build_spmm(self, a, n, precision)
+        )
+
+    def sddmm_config(
+        self,
+        mask: CSRMatrix,
+        k: int,
+        selector: str = "heuristic",
+        fingerprint: str | None = None,
+    ) -> SddmmConfig:
+        """Resolve an SDDMM config through a selector (name or instance).
+
+        Precision is derived from the mask's value dtype — an fp16 mask
+        selects a mixed-precision config (fp16 value bytes, int16 index
+        bytes) exactly like :meth:`spmm_config` does for SpMM.
+        """
+        sel = resolve_selector(selector)
+        fp = fingerprint or matrix_fingerprint(mask)
+        precision = "mixed" if mask.values.dtype == np.float16 else "fp32"
+        key = ("sddmm_config", fp, k, precision, sel.name)
+        return self._select_config(
+            "sddmm_config",
+            sel,
+            key,
+            lambda: sel.build_sddmm(self, mask, k, precision),
+        )
 
     # ------------------------------------------------------------------
     # Plans (cached per topology x config x problem dims)
@@ -459,11 +505,12 @@ class ExecutionContext:
         mask: CSRMatrix,
         k: int,
         config: SddmmConfig | None = None,
+        selector: str = "heuristic",
         backend: str = "sputnik",
     ) -> SddmmPlan:
-        if config is None:
-            config = select_sddmm_config(k)
         fp = matrix_fingerprint(mask)
+        if config is None:
+            config = self.sddmm_config(mask, k, selector, fingerprint=fp)
         key = ("sddmm", fp, k, config)
         return self._cached(
             "sddmm",
@@ -511,12 +558,13 @@ class ExecutionContext:
         k: int,
         h: int,
         config: SddmmConfig | None = None,
+        selector: str = "heuristic",
         backend: str = "sputnik",
     ) -> SddmmBatchedPlan:
         """One plan for ``h`` SDDMMs sharing ``mask``'s topology."""
-        if config is None:
-            config = select_sddmm_config(k)
         fp = matrix_fingerprint(mask)
+        if config is None:
+            config = self.sddmm_config(mask, k, selector, fingerprint=fp)
         key = ("sddmm_batched", fp, k, h, config)
         return self._cached(
             "sddmm_batched",

@@ -12,8 +12,10 @@ Each wrapper resolves (context, backend, config) and dispatches through the
   backend strings, or a :class:`~repro.reliability.policy.FallbackPolicy`)
   dispatched with retry/backoff and the reliability error taxonomy;
 - ``config``: an explicit kernel config, or ``None`` to resolve one via
-  :mod:`repro.core.selection` (``selector="oracle"`` costs every candidate,
-  Section VII-B) and cache the choice per topology;
+  the :mod:`repro.tune` selector protocol — ``selector`` names a policy:
+  ``"heuristic"`` (the paper's rules), ``"oracle"`` (costs every
+  candidate, Section VII-B), or ``"tuned"`` (hill-climbing autotuner) —
+  with the choice cached per topology and selector;
 - ``validate``: run the numerical guardrails on the output (NaN/Inf scan;
   fp16 overflow triggers an automatic fp32 degraded-mode re-run).
 
@@ -210,6 +212,7 @@ def sddmm(
     *,
     context: ExecutionContext | None = None,
     backend="sputnik",
+    selector: str = "heuristic",
     validate: bool = False,
 ) -> KernelResult:
     """``(lhs @ rhs^T) ∘ I[mask]``: exact numerics + simulated cost."""
@@ -217,7 +220,7 @@ def sddmm(
     with _op_span(ctx, "sddmm", backend) as span:
         if _fast_path(ctx, backend, validate):
             impl = get_impl("sddmm", backend)
-            result = impl.run(ctx, lhs, rhs, mask, config)
+            result = impl.run(ctx, lhs, rhs, mask, config, selector)
             ctx.telemetry.record_launch("sddmm", backend, result.execution)
             span.add_sim(result.execution.runtime_s)
             return result
@@ -226,14 +229,14 @@ def sddmm(
 
         def call(be: str) -> KernelResult:
             cfg = config if be in (primary, "sputnik") else None
-            return get_impl("sddmm", be).run(ctx, lhs, rhs, mask, cfg)
+            return get_impl("sddmm", be).run(ctx, lhs, rhs, mask, cfg, selector)
 
         fp32_call = None
         if mask.values.dtype == np.float16:
 
             def fp32_call(be: str) -> KernelResult:
                 return get_impl("sddmm", be).run(
-                    ctx, lhs, rhs, mask.astype(np.float32), None
+                    ctx, lhs, rhs, mask.astype(np.float32), None, selector
                 )
 
         return _policy_dispatch(
@@ -250,6 +253,7 @@ def sddmm_cost(
     *,
     context: ExecutionContext | None = None,
     backend="sputnik",
+    selector: str = "heuristic",
     validate: bool = False,
 ) -> ExecutionResult:
     """Simulated SDDMM cost only (``k`` = dot-product inner dimension)."""
@@ -257,7 +261,7 @@ def sddmm_cost(
     with _op_span(ctx, "sddmm", backend) as span:
         if _fast_path(ctx, backend, validate):
             impl = get_impl("sddmm", backend)
-            result = impl.cost(ctx, mask, k, config)
+            result = impl.cost(ctx, mask, k, config, selector)
             ctx.telemetry.record_launch("sddmm", backend, result)
             span.add_sim(result.runtime_s)
             return result
@@ -266,7 +270,7 @@ def sddmm_cost(
 
         def call(be: str) -> ExecutionResult:
             cfg = config if be in (primary, "sputnik") else None
-            return get_impl("sddmm", be).cost(ctx, mask, k, cfg)
+            return get_impl("sddmm", be).cost(ctx, mask, k, cfg, selector)
 
         return _policy_dispatch(
             ctx, "sddmm", backend, validate, call,
@@ -450,6 +454,7 @@ def sddmm_batched(
     *,
     context: ExecutionContext | None = None,
     backend="sputnik",
+    selector: str = "heuristic",
     validate: bool = False,
 ) -> KernelResult:
     """``(lhs[h] @ rhs[h]^T) ∘ I[mask]`` for ``h`` stacked head pairs.
@@ -469,7 +474,7 @@ def sddmm_batched(
         span.set(batch=h)
         if _fast_path(ctx, backend, validate):
             impl = get_impl("sddmm_batched", backend)
-            result = impl.run(ctx, lhs_stack, rhs_stack, mask, config)
+            result = impl.run(ctx, lhs_stack, rhs_stack, mask, config, selector)
             ctx.telemetry.record_launch(
                 "sddmm_batched", backend, result.execution
             )
@@ -481,7 +486,7 @@ def sddmm_batched(
         def call(be: str) -> KernelResult:
             cfg = config if be in (primary, "sputnik") else None
             return get_impl("sddmm_batched", be).run(
-                ctx, lhs_stack, rhs_stack, mask, cfg
+                ctx, lhs_stack, rhs_stack, mask, cfg, selector
             )
 
         return _policy_dispatch(
@@ -499,6 +504,7 @@ def sddmm_batched_cost(
     *,
     context: ExecutionContext | None = None,
     backend="sputnik",
+    selector: str = "heuristic",
     validate: bool = False,
 ) -> ExecutionResult:
     """Simulated batched-SDDMM cost only (``h`` stacked products)."""
@@ -507,7 +513,7 @@ def sddmm_batched_cost(
         span.set(batch=h)
         if _fast_path(ctx, backend, validate):
             impl = get_impl("sddmm_batched", backend)
-            result = impl.cost(ctx, mask, k, h, config)
+            result = impl.cost(ctx, mask, k, h, config, selector)
             ctx.telemetry.record_launch("sddmm_batched", backend, result)
             span.add_sim(result.runtime_s)
             return result
@@ -516,7 +522,9 @@ def sddmm_batched_cost(
 
         def call(be: str) -> ExecutionResult:
             cfg = config if be in (primary, "sputnik") else None
-            return get_impl("sddmm_batched", be).cost(ctx, mask, k, h, cfg)
+            return get_impl("sddmm_batched", be).cost(
+                ctx, mask, k, h, cfg, selector
+            )
 
         return _policy_dispatch(
             ctx, "sddmm_batched", backend, validate, call,

@@ -261,16 +261,16 @@ def _dense_spmm_batched_cost(ctx, a, n, h, config, selector):
     )
 
 
-def _sputnik_sddmm_batched_run(ctx, lhs_stack, rhs_stack, mask, config):
+def _sputnik_sddmm_batched_run(ctx, lhs_stack, rhs_stack, mask, config, selector):
     lhs_stack = _batched_stack(lhs_stack)
     plan = ctx.sddmm_batched_plan(
-        mask, lhs_stack.shape[2], lhs_stack.shape[0], config
+        mask, lhs_stack.shape[2], lhs_stack.shape[0], config, selector
     )
     return execute_sddmm_batched(plan, lhs_stack, rhs_stack, mask)
 
 
-def _sputnik_sddmm_batched_cost(ctx, mask, k, h, config):
-    return ctx.sddmm_batched_plan(mask, k, h, config).execution
+def _sputnik_sddmm_batched_cost(ctx, mask, k, h, config, selector):
+    return ctx.sddmm_batched_plan(mask, k, h, config, selector).execution
 
 
 def _sputnik_softmax_batched_run(ctx, a, values, scale):
@@ -290,24 +290,24 @@ def _sputnik_softmax_batched_cost(ctx, a, h):
 # ----------------------------------------------------------------------
 # SDDMM backends
 # ----------------------------------------------------------------------
-def _sputnik_sddmm_run(ctx, lhs, rhs, mask, config):
+def _sputnik_sddmm_run(ctx, lhs, rhs, mask, config, selector):
     k = np.asarray(lhs).shape[1]
-    plan = ctx.sddmm_plan(mask, k, config)
+    plan = ctx.sddmm_plan(mask, k, config, selector)
     return execute_sddmm(plan, lhs, rhs, mask)
 
 
-def _sputnik_sddmm_cost(ctx, mask, k, config):
-    return ctx.sddmm_plan(mask, k, config).execution
+def _sputnik_sddmm_cost(ctx, mask, k, config, selector):
+    return ctx.sddmm_plan(mask, k, config, selector).execution
 
 
-def _cusparse_sddmm_run(ctx, lhs, rhs, mask, config):
+def _cusparse_sddmm_run(ctx, lhs, rhs, mask, config, selector):
     _reject_config("cusparse", config)
     result = cusparse.cusparse_sddmm(lhs, rhs, mask, ctx.device)
     ctx.telemetry.record_cache("sddmm", "cusparse", False)
     return result
 
 
-def _cusparse_sddmm_cost(ctx, mask, k, config):
+def _cusparse_sddmm_cost(ctx, mask, k, config, selector):
     _reject_config("cusparse", config)
     key = ("sddmm", "cusparse", matrix_fingerprint(mask), k)
     return ctx.cost(
@@ -315,14 +315,14 @@ def _cusparse_sddmm_cost(ctx, mask, k, config):
     )
 
 
-def _aspt_sddmm_run(ctx, lhs, rhs, mask, config):
+def _aspt_sddmm_run(ctx, lhs, rhs, mask, config, selector):
     _reject_config("aspt", config)
     result = aspt.aspt_sddmm(lhs, rhs, mask, ctx.device)
     ctx.telemetry.record_cache("sddmm", "aspt", False)
     return result
 
 
-def _aspt_sddmm_cost(ctx, mask, k, config):
+def _aspt_sddmm_cost(ctx, mask, k, config, selector):
     _reject_config("aspt", config)
     key = ("sddmm", "aspt", matrix_fingerprint(mask), k)
     return ctx.cost(

@@ -46,7 +46,11 @@ from typing import Any, Callable
 #: SparseSoftmaxBatchedPlan with z-scaled launches and batch-size keys) —
 #: stale v2 pickles must self-heal rather than deserialize into the new
 #: batched execute signatures.
-PLAN_STORE_VERSION = 3
+#: v4: tuned selection persists whole ``repro.tune.TuningResult`` envelopes
+#: (config + search stats) under selector-qualified config keys — v3
+#: pickles of bare configs would miss the search metadata readers now
+#: unwrap.
+PLAN_STORE_VERSION = 4
 
 #: Magic tag identifying a plan-store envelope.
 _MAGIC = "repro-plan-store"

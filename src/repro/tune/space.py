@@ -1,0 +1,192 @@
+"""Search space over the real knobs on ``SpmmConfig``/``SddmmConfig``.
+
+Two enumerations per kernel:
+
+- ``*_candidates`` — the pruned menu the oracle costs exhaustively and the
+  tuner costs in its first round, so both selectors share one enumeration
+  instead of two drifting menus. Output is deduplicated (mixed precision
+  force-clears ``index_prescale``, which can alias otherwise-distinct
+  knob tuples).
+- ``*_neighbors`` — one-knob moves around a config for hill climbing:
+  step ``block_items_x``/``block_items_k``/``warps_per_block``/
+  ``vector_width`` to the adjacent menu value, flip each boolean toggle.
+
+Every emitted config is legality-filtered: construction runs the
+``__post_init__`` validators, SpMM configs must additionally satisfy the
+subwarp-tiling rules (:func:`repro.core.tiling.derive_tiling`), and vector
+widths must divide the problem's N (SpMM) or K (SDDMM) dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterator, Sequence
+
+from ..core.config import Precision, SddmmConfig, SpmmConfig
+from ..core.selection import next_power_of_two
+from ..core.tiling import derive_tiling
+
+#: Menu values for each stepped SpMM knob.
+SPMM_TILES = (8, 16, 32, 64)
+SPMM_BLOCK_K = (16, 32, 64)
+SPMM_WARPS = (2, 4, 8)
+VECTOR_WIDTHS = (1, 2, 4)
+
+#: SpMM boolean toggles the neighborhood flips.
+SPMM_TOGGLES = ("roma", "load_balance", "residue_unroll", "index_prescale")
+
+#: Menu values for each stepped SDDMM knob.
+SDDMM_STRIPS = (8, 16, 32)
+SDDMM_TOGGLES = ("load_balance",)
+
+
+def _legal_spmm(n: int, **knobs) -> SpmmConfig | None:
+    """Construct a config, returning None when any legality rule rejects it."""
+    try:
+        config = SpmmConfig(**knobs)
+        derive_tiling(config)
+    except ValueError:
+        return None
+    if config.vector_width > 1 and n % config.vector_width:
+        return None
+    return config
+
+
+def _legal_sddmm(k: int, **knobs) -> SddmmConfig | None:
+    try:
+        config = SddmmConfig(**knobs)
+    except ValueError:
+        return None
+    if config.vector_width > 1 and k % config.vector_width:
+        return None
+    return config
+
+
+def _dedupe(configs: Iterator) -> list:
+    """Order-preserving dedupe (frozen dataclasses hash by value)."""
+    return list(dict.fromkeys(c for c in configs if c is not None))
+
+
+def spmm_candidates(n: int, precision: Precision = "fp32") -> list[SpmmConfig]:
+    """Pruned SpMM menu shared by the oracle and the tuner's first round.
+
+    Pruning: tiles wider than ``next_pow2(n)`` are skipped (beyond 8) since
+    the extra columns are pure waste, and illegal (tile, vector, warp)
+    combinations are filtered by construction.
+    """
+
+    def enumerate_menu() -> Iterator[SpmmConfig | None]:
+        for tile in SPMM_TILES:
+            if tile > next_power_of_two(n) and tile > 8:
+                continue
+            for vw in VECTOR_WIDTHS:
+                for warps in SPMM_WARPS:
+                    yield _legal_spmm(
+                        n,
+                        block_items_x=tile,
+                        block_items_k=32,
+                        warps_per_block=warps,
+                        vector_width=vw,
+                        precision=precision,
+                    )
+
+    return _dedupe(enumerate_menu())
+
+
+def sddmm_candidates(k: int, precision: Precision = "fp32") -> list[SddmmConfig]:
+    """Pruned SDDMM menu: strip length x vector width."""
+
+    def enumerate_menu() -> Iterator[SddmmConfig | None]:
+        for strip in SDDMM_STRIPS:
+            for vw in VECTOR_WIDTHS:
+                yield _legal_sddmm(
+                    k,
+                    nonzeros_per_block=strip,
+                    vector_width=vw,
+                    precision=precision,
+                )
+
+    return _dedupe(enumerate_menu())
+
+
+def _stepped(menu: Sequence[int], current: int) -> list[int]:
+    """Adjacent menu values (both directions) for one stepped knob."""
+    ordered = sorted(set(menu) | {current})
+    i = ordered.index(current)
+    return [ordered[j] for j in (i - 1, i + 1) if 0 <= j < len(ordered)]
+
+
+def spmm_neighbors(config: SpmmConfig, n: int) -> list[SpmmConfig]:
+    """Legal one-knob moves around ``config`` for hill climbing.
+
+    Covers the knobs the candidate menu holds fixed (``block_items_k`` and
+    every boolean toggle) plus steps of the menu knobs, so the tuner can
+    reach configurations the oracle never costs.
+    """
+
+    def enumerate_moves() -> Iterator[SpmmConfig | None]:
+        for tile in _stepped(SPMM_TILES, config.block_items_x):
+            yield _legal_spmm(n, **_knobs(config, block_items_x=tile))
+        for bk in _stepped(SPMM_BLOCK_K, config.block_items_k):
+            yield _legal_spmm(n, **_knobs(config, block_items_k=bk))
+        for warps in _stepped(SPMM_WARPS, config.warps_per_block):
+            yield _legal_spmm(n, **_knobs(config, warps_per_block=warps))
+        for vw in _stepped(VECTOR_WIDTHS, config.vector_width):
+            yield _legal_spmm(n, **_knobs(config, vector_width=vw))
+        for toggle in SPMM_TOGGLES:
+            yield _legal_spmm(
+                n, **_knobs(config, **{toggle: not getattr(config, toggle)})
+            )
+
+    moves = _dedupe(enumerate_moves())
+    return [c for c in moves if c != config]
+
+
+def sddmm_neighbors(config: SddmmConfig, k: int) -> list[SddmmConfig]:
+    """Legal one-knob moves around an SDDMM config."""
+
+    def enumerate_moves() -> Iterator[SddmmConfig | None]:
+        for strip in _stepped(SDDMM_STRIPS, config.nonzeros_per_block):
+            yield _legal_sddmm(k, nonzeros_per_block=strip, **_sddmm_rest(config))
+        for vw in _stepped(VECTOR_WIDTHS, config.vector_width):
+            try:
+                yield replace(config, vector_width=vw)
+            except ValueError:
+                yield None
+        for toggle in SDDMM_TOGGLES:
+            yield replace(config, **{toggle: not getattr(config, toggle)})
+
+    moves = _dedupe(
+        c
+        for c in enumerate_moves()
+        if c is not None
+        and not (c.vector_width > 1 and k % c.vector_width)
+    )
+    return [c for c in moves if c != config]
+
+
+def _knobs(config: SpmmConfig, **overrides) -> dict:
+    knobs = {
+        "block_items_x": config.block_items_x,
+        "block_items_k": config.block_items_k,
+        "warps_per_block": config.warps_per_block,
+        "vector_width": config.vector_width,
+        "roma": config.roma,
+        "load_balance": config.load_balance,
+        "residue_unroll": config.residue_unroll,
+        "index_prescale": config.index_prescale,
+        "precision": config.precision,
+    }
+    knobs.update(overrides)
+    return knobs
+
+
+def _sddmm_rest(config: SddmmConfig) -> dict:
+    return {
+        "vector_width": config.vector_width,
+        "load_balance": config.load_balance,
+        "precision": config.precision,
+        "scale_by_values": config.scale_by_values,
+        "transposed_rhs": config.transposed_rhs,
+        "dynamic_parallelism": config.dynamic_parallelism,
+    }

@@ -180,7 +180,7 @@ class TestOperatorEquivalence:
         assert cost.runtime_s == run.execution.runtime_s
 
     def test_oracle_selector_matches_oracle_config(self, rng, ctx):
-        from repro.core import oracle_spmm_config
+        from repro.tune import oracle_spmm_config
 
         a = random_sparse(rng, 64, 48, 0.3)
         b = dense_batch(rng, 48, 20)

@@ -497,3 +497,66 @@ class TestChaosSweep:
         assert stats["failures"] == 0
         assert sum(r.retries for r in reports) == stats["retries"]
         assert sum(r.fallbacks for r in reports) == stats["fallbacks"]
+
+
+# ----------------------------------------------------------------------
+# Autotuner under injected faults
+# ----------------------------------------------------------------------
+class TestTuningFaults:
+    def test_search_falls_back_under_injected_launch_faults(self, rng, ctx):
+        """Every candidate costing dies inside execute(): the search must
+        return the heuristic seed flagged fell_back, not crash."""
+        from repro.tune import select_spmm_config, tune_spmm_config
+
+        a = random_sparse(rng, 96, 64, 0.3)
+        injector = FaultInjector(
+            [FaultSpec("launch", site="executor", every=1)],
+            seed=CHAOS_SEED,
+        )
+        with injector.attached(ctx):
+            result = tune_spmm_config(a, 64, V100)
+        assert result.fell_back
+        assert result.config == select_spmm_config(a, 64)
+        assert result.candidates_costed > 0
+
+    def test_fallen_back_result_is_not_persisted(self, rng, ctx, tmp_path):
+        """A fault-degraded tuning result must stay out of the plan store:
+        the next fault-free run should search for real and persist that."""
+        a = random_sparse(rng, 96, 64, 0.3)
+        store_ctx = ExecutionContext(V100, store=str(tmp_path / "plans"))
+        injector = FaultInjector(
+            [FaultSpec("launch", site="executor", every=1)],
+            seed=CHAOS_SEED,
+        )
+        with injector.attached(store_ctx):
+            degraded = store_ctx.spmm_config(a, 64, selector="tuned")
+        assert store_ctx.store.stats.writes == 0
+
+        healthy = ExecutionContext(V100, store=str(tmp_path / "plans"))
+        tuned = healthy.spmm_config(a, 64, selector="tuned")
+        assert healthy.store.stats.writes >= 1
+        from repro.tune import select_spmm_config
+
+        assert degraded == select_spmm_config(a, 64)
+        assert tuned != degraded
+
+    def test_poisoned_tuned_config_entry_self_heals(self, rng, tmp_path):
+        """Poisoning the cached tuned config: dispatch must evict, restore
+        the winner from the store, and cost identically."""
+        a = random_sparse(rng, 96, 64, 0.3)
+        store = str(tmp_path / "plans")
+        ctx = ExecutionContext(V100, store=store)
+        clean = ops.spmm_cost(a, 64, context=ctx, selector="tuned")
+
+        key = next(k for k in ctx.plans.keys() if k[0] == "spmm_config")
+        ctx.plans.poison(key)
+        healed = ops.spmm_cost(
+            a, 64, context=ctx, backend=CHAIN, selector="tuned"
+        )
+        # The retry charges backoff into simulated time, so the healed run
+        # costs the clean kernel time plus that overhead — never less.
+        assert healed.runtime_s >= clean.runtime_s
+        assert ctx.telemetry_snapshot()["spmm/sputnik"]["retries"] == 1
+        # The cache is healthy again after the eviction-and-restore cycle.
+        again = ops.spmm_cost(a, 64, context=ctx, selector="tuned")
+        assert again.runtime_s == pytest.approx(clean.runtime_s, rel=1e-12)

@@ -4,12 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core import SddmmConfig, SpmmConfig, derive_tiling, value_dtype
-from repro.core.selection import (
-    next_power_of_two,
-    select_sddmm_config,
-    select_spmm_config,
-    widest_vector_width,
-)
+from repro.core.selection import next_power_of_two, widest_vector_width
+from repro.tune import select_sddmm_config, select_spmm_config
 
 
 class TestSpmmConfig:
