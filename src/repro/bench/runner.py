@@ -149,10 +149,12 @@ SPMM_BATCHED_KERNELS: dict[str, BatchedSpmmTimer] = {
 class BenchRow:
     """One (problem, kernel) measurement.
 
-    ``status`` is ``"ok"`` for a completed measurement and ``"failed"``
-    when the kernel raised — a SuiteSparse-scale sweep must survive one
-    pathological matrix instead of aborting, so failures become rows
-    (``runtime_s`` is NaN, ``error`` holds the classified exception).
+    ``status`` is ``"ok"`` for a completed measurement, ``"oom"`` when the
+    kernel died of device memory exhaustion (even after the eviction
+    ladder), and ``"failed"`` for any other raise — a SuiteSparse-scale
+    sweep must survive one pathological matrix instead of aborting, so
+    failures become rows (``runtime_s`` is NaN, ``error`` holds the
+    classified exception).
 
     ``runtime_s`` is *simulated device* time; ``wall_s`` is the harness
     wall-clock the measurement itself took (planning + cost model), and
@@ -195,7 +197,27 @@ def _telemetry_totals(ctx) -> dict[str, int | float]:
         "cache_hits": t.cache_hits,
         "cache_misses": t.cache_misses,
         "simulated_seconds": t.simulated_seconds,
+        "oom_events": t.oom_events,
+        "plan_evictions": t.plan_evictions,
+        "bytes_evicted": t.bytes_evicted,
     }
+
+
+def _oom_failure(exc: Exception) -> bool:
+    """Whether a raised measurement failure is memory exhaustion.
+
+    True for a direct :class:`DeviceOOMError` and for a fallback chain
+    that died with OOM as its final error — those rows get
+    ``status="oom"`` so capacity exhaustion is distinguishable from
+    kernel failures in sweep JSONL output.
+    """
+    from ..reliability.errors import DeviceOOMError, FallbackExhaustedError
+
+    if isinstance(exc, DeviceOOMError):
+        return True
+    if isinstance(exc, FallbackExhaustedError):
+        return any(a.error == "DeviceOOMError" for a in exc.attempts)
+    return False
 
 
 def _measure(
@@ -240,7 +262,7 @@ def _measure(
         after = _telemetry_totals(ctx)
         return BenchRow(
             runtime_s=float("nan"),
-            status="failed",
+            status="oom" if _oom_failure(exc) else "failed",
             error=f"{type(exc).__name__}: {exc}",
             wall_s=wall_s,
             telemetry={k: after[k] - before[k] for k in after},

@@ -79,6 +79,10 @@ class SweepReport:
     from_store: int
     resumed: int
     failed: int
+    #: Rows that died of device memory exhaustion (``status="oom"``) —
+    #: counted separately from ``failed`` so a capacity-constrained sweep
+    #: is distinguishable from a buggy one.
+    oom: int
     workers: int
     wall_s: float
     store_counters: dict[str, int] = field(default_factory=dict)
@@ -481,13 +485,17 @@ def run_sweep(
                 _absorb(*future.result())
     wall = time.perf_counter() - start
 
-    failed = sum(1 for row in rows if row.get("status") != "ok")
+    oom = sum(1 for row in rows if row.get("status") == "oom")
+    failed = sum(
+        1 for row in rows if row.get("status") not in ("ok", "oom")
+    )
     report = SweepReport(
         total_tasks=total,
         measured=len(rows) - totals["from_store"],
         from_store=totals["from_store"],
         resumed=len(resumed_rows),
         failed=failed,
+        oom=oom,
         workers=max(1, workers),
         wall_s=wall,
         store_counters=dict(totals["store"]),

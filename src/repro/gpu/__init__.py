@@ -37,6 +37,19 @@ from .scheduler import (
     volta_first_wave_sm,
 )
 
+# The allocator imports the reliability error taxonomy, which imports the
+# executor; keep it last so a bare ``import repro.gpu`` resolves the loop
+# against already-initialized submodules.
+from .allocator import (  # noqa: E402
+    CAP_ENV_VAR,
+    Allocation,
+    DeviceAllocator,
+    aligned_nbytes,
+    capacity_from_env,
+    estimate_nbytes,
+    parse_capacity,
+)
+
 __all__ = [
     "DeviceSpec",
     "V100",
@@ -66,4 +79,11 @@ __all__ = [
     "aligned_extent",
     "dram_bytes_with_reuse",
     "latency_hiding_factor",
+    "DeviceAllocator",
+    "Allocation",
+    "CAP_ENV_VAR",
+    "aligned_nbytes",
+    "capacity_from_env",
+    "estimate_nbytes",
+    "parse_capacity",
 ]

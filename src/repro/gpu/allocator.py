@@ -1,0 +1,464 @@
+"""Capacity-aware caching device allocator: the finite-HBM model.
+
+:mod:`repro.gpu.memory` models memory *traffic*; this module models memory
+*capacity*. A :class:`DeviceAllocator` owns one device's DRAM
+(:attr:`~repro.gpu.device.DeviceSpec.dram_capacity` by default, overridable
+with the ``REPRO_HBM_CAP`` environment variable) and hands out
+:class:`Allocation` handles the dispatch layer charges tensors, CSR
+metadata, and resident kernel plans against.
+
+The design follows the caching allocators real frameworks use (PyTorch's
+``CUDACachingAllocator`` shape):
+
+- **segments** stand in for ``cudaMalloc`` regions. A cache miss reserves a
+  new segment (small requests are rounded up to :data:`MIN_SEGMENT_BYTES`
+  so they pool); reserving beyond capacity raises
+  :class:`~repro.reliability.errors.DeviceOOMError`.
+- **blocks** subdivide segments. ``free()`` does not return memory to the
+  device — the block goes onto a size-bucketed free list (the *cache*) and
+  is merged with free neighbours, so a steady-state workload stops paying
+  reservation churn entirely.
+- **allocation** first searches the free lists (best-fit over power-of-two
+  buckets, splitting when the remainder is worth keeping), and only then
+  reserves a new segment.
+- :meth:`flush_cache` releases fully-free segments back to the device —
+  stage one of the OOM degradation ladder (DESIGN.md Section 14).
+
+Accounting invariant (property-tested in tests/test_allocator.py)::
+
+    allocated_bytes + cached_bytes == reserved_bytes <= capacity
+
+Fragmentation is reported as ``1 - largest_available / total_available``
+where *available* counts both cached blocks and unreserved capacity: 0.0
+means one request could take everything that is free, 1.0 means the free
+bytes are unusable dust.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..reliability.errors import DeviceOOMError
+from .device import DeviceSpec
+
+#: Environment variable overriding every allocator's capacity (bytes, or a
+#: suffixed size like ``4G`` / ``512M``); ``off`` disables accounting.
+CAP_ENV_VAR = "REPRO_HBM_CAP"
+
+#: Smallest segment reserved from the device; sub-MiB requests pool into
+#: shared segments instead of reserving one region each.
+MIN_SEGMENT_BYTES = 1 << 20
+
+#: A free block is split when the remainder is at least this large;
+#: smaller tails stay attached to the allocation (internal fragmentation).
+MIN_SPLIT_BYTES = 512
+
+_UNITS = {
+    "k": 1024,
+    "kb": 1024,
+    "kib": 1024,
+    "m": 1024**2,
+    "mb": 1024**2,
+    "mib": 1024**2,
+    "g": 1024**3,
+    "gb": 1024**3,
+    "gib": 1024**3,
+    "t": 1024**4,
+    "tb": 1024**4,
+    "tib": 1024**4,
+}
+
+
+def parse_capacity(text: str) -> int | None:
+    """Parse a human capacity string (``"4G"``, ``"512M"``, ``"1073741824"``).
+
+    Returns ``None`` for ``"off"`` / ``"none"`` / ``""`` (accounting
+    disabled). Raises ``ValueError`` for anything unintelligible.
+    """
+    raw = text.strip().lower()
+    if raw in ("", "off", "none", "unlimited"):
+        return None
+    for suffix, factor in sorted(_UNITS.items(), key=lambda kv: -len(kv[0])):
+        if raw.endswith(suffix):
+            return int(float(raw[: -len(suffix)]) * factor)
+    return int(raw)
+
+
+def capacity_from_env(default: int) -> int | None:
+    """The effective capacity honouring ``REPRO_HBM_CAP``.
+
+    Returns ``default`` when the variable is unset, ``None`` when it
+    explicitly disables accounting, else the parsed override.
+    """
+    raw = os.environ.get(CAP_ENV_VAR)
+    if raw is None:
+        return default
+    return parse_capacity(raw)
+
+
+def aligned_nbytes(nbytes: int, alignment: int) -> int:
+    """Round a request up to the device allocation alignment."""
+    if nbytes <= 0:
+        return alignment
+    return -(-nbytes // alignment) * alignment
+
+
+def estimate_nbytes(obj, _depth: int = 0) -> int:
+    """Rough device footprint of a plan-like object.
+
+    Sums every reachable numpy array's ``nbytes`` (swizzled row orders,
+    ROMA extents, per-block cost vectors...) plus a small fixed overhead
+    per object — enough fidelity for capacity accounting without a
+    serialization pass. Recursion is bounded so self-referential plans
+    cannot loop.
+    """
+    if _depth > 4 or obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (int, float, bool, str, bytes)):
+        return 0
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(estimate_nbytes(item, _depth + 1) for item in obj)
+    if isinstance(obj, dict):
+        return sum(estimate_nbytes(v, _depth + 1) for v in obj.values())
+    inner = getattr(obj, "__dict__", None)
+    if inner is None:
+        return 0
+    return 256 + sum(estimate_nbytes(v, _depth + 1) for v in inner.values())
+
+
+class _Block:
+    """One contiguous range inside a segment."""
+
+    __slots__ = ("segment", "offset", "size", "free")
+
+    def __init__(self, segment: "_Segment", offset: int, size: int) -> None:
+        self.segment = segment
+        self.offset = offset
+        self.size = size
+        self.free = False
+
+
+class _Segment:
+    """One reserved device region (the ``cudaMalloc`` stand-in)."""
+
+    __slots__ = ("base", "size", "blocks")
+
+    def __init__(self, base: int, size: int) -> None:
+        self.base = base
+        self.size = size
+        self.blocks: list[_Block] = []
+
+    @property
+    def all_free(self) -> bool:
+        return all(b.free for b in self.blocks)
+
+
+@dataclass
+class Allocation:
+    """A live device allocation (``free()`` it through its allocator)."""
+
+    id: int
+    nbytes: int  #: rounded (charged) size, not the requested size
+    requested: int
+    tag: str
+    _block: _Block | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def freed(self) -> bool:
+        return self._block is None
+
+
+class DeviceAllocator:
+    """Size-bucketed caching allocator over one device's finite DRAM.
+
+    ``capacity=None`` reads ``REPRO_HBM_CAP`` and falls back to the
+    device's ``dram_capacity``. All byte counters are plain ints; the hot
+    path (cached hit) is one bucket lookup and a list pop.
+    """
+
+    def __init__(
+        self, device: DeviceSpec, capacity: int | None = None
+    ) -> None:
+        self.device = device
+        if capacity is None:
+            capacity = capacity_from_env(device.dram_capacity)
+            if capacity is None:
+                capacity = device.dram_capacity
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.alignment = int(device.allocation_alignment)
+        self._segments: list[_Segment] = []
+        #: bucket exponent -> free blocks (the cache).
+        self._free_lists: dict[int, list[_Block]] = {}
+        self._next_base = 0
+        self._ids = itertools.count(1)
+        # Gauges.
+        self.allocated_bytes = 0
+        self.cached_bytes = 0
+        self.peak_allocated_bytes = 0
+        self.peak_reserved_bytes = 0
+        #: Live bytes per tag ("tensor", "plan", "workspace", ...).
+        self.allocated_by_tag: dict[str, int] = {}
+        # Counters.
+        self.alloc_count = 0
+        self.free_count = 0
+        self.segment_count = 0
+        self.oom_count = 0
+        self.flush_count = 0
+        self.flushed_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Derived gauges
+    # ------------------------------------------------------------------
+    @property
+    def reserved_bytes(self) -> int:
+        """Bytes reserved from the device (in-use + cached)."""
+        return self.allocated_bytes + self.cached_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes a request could still obtain (cached + unreserved)."""
+        return self.capacity - self.allocated_bytes
+
+    def largest_available(self) -> int:
+        """The biggest single request that could currently succeed."""
+        largest = self.capacity - self.reserved_bytes
+        for blocks in self._free_lists.values():
+            for block in blocks:
+                if block.size > largest:
+                    largest = block.size
+        return largest
+
+    @property
+    def fragmentation(self) -> float:
+        """``1 - largest_available / free_bytes`` (0 when nothing is free)."""
+        free = self.free_bytes
+        if free <= 0:
+            return 0.0
+        return 1.0 - self.largest_available() / free
+
+    # ------------------------------------------------------------------
+    # Allocate / free
+    # ------------------------------------------------------------------
+    def _bucket(self, size: int) -> int:
+        return max(MIN_SPLIT_BYTES, size).bit_length()
+
+    def _push_free(self, block: _Block) -> None:
+        block.free = True
+        self._free_lists.setdefault(self._bucket(block.size), []).append(block)
+        self.cached_bytes += block.size
+
+    def _pop_free(self, block: _Block) -> None:
+        bucket = self._free_lists.get(self._bucket(block.size))
+        if bucket is not None:
+            try:
+                bucket.remove(block)
+            except ValueError:
+                pass
+        block.free = False
+        self.cached_bytes -= block.size
+
+    def _find_cached(self, size: int) -> _Block | None:
+        """Best-fit over the size buckets >= the request's bucket."""
+        for exp in range(self._bucket(size), 64):
+            blocks = self._free_lists.get(exp)
+            if not blocks:
+                continue
+            best = None
+            for block in blocks:
+                if block.size >= size and (
+                    best is None or block.size < best.size
+                ):
+                    best = block
+            if best is not None:
+                return best
+        return None
+
+    def _split(self, block: _Block, size: int) -> _Block:
+        """Carve ``size`` bytes off ``block``, re-caching the remainder."""
+        self._pop_free(block)
+        remainder = block.size - size
+        if remainder >= max(MIN_SPLIT_BYTES, self.alignment):
+            tail = _Block(block.segment, block.offset + size, remainder)
+            segment_blocks = block.segment.blocks
+            tail_index = segment_blocks.index(block) + 1
+            segment_blocks.insert(tail_index, tail)
+            block.size = size
+            self._push_free(tail)
+        return block
+
+    def allocate(self, nbytes: int, tag: str = "tensor") -> Allocation:
+        """Charge ``nbytes`` (rounded to the device alignment) of DRAM.
+
+        Raises :class:`DeviceOOMError` when neither the free-list cache nor
+        the unreserved capacity can satisfy the request; the error carries
+        an allocator snapshot for diagnosis.
+        """
+        size = aligned_nbytes(int(nbytes), self.alignment)
+        block = self._find_cached(size)
+        if block is not None:
+            block = self._split(block, size)
+        else:
+            segment_size = max(size, MIN_SEGMENT_BYTES)
+            if self.reserved_bytes + segment_size > self.capacity:
+                # A tight fit may still be reservable without the pooling
+                # round-up.
+                segment_size = size
+            if self.reserved_bytes + segment_size > self.capacity:
+                self.oom_count += 1
+                raise DeviceOOMError(
+                    f"device OOM on {self.device.name}: requested "
+                    f"{size} bytes with {self.free_bytes} free "
+                    f"({self.cached_bytes} cached) of {self.capacity}",
+                    requested=size,
+                    capacity=self.capacity,
+                    snapshot=self.snapshot(),
+                )
+            segment = _Segment(self._next_base, segment_size)
+            self._next_base += segment_size
+            self._segments.append(segment)
+            self.segment_count += 1
+            block = _Block(segment, 0, segment_size)
+            segment.blocks.append(block)
+            if segment_size > size:
+                self._push_free(block)
+                block = self._split(block, size)
+        self.allocated_bytes += block.size
+        self.peak_allocated_bytes = max(
+            self.peak_allocated_bytes, self.allocated_bytes
+        )
+        self.peak_reserved_bytes = max(
+            self.peak_reserved_bytes, self.reserved_bytes
+        )
+        self.alloc_count += 1
+        self.allocated_by_tag[tag] = (
+            self.allocated_by_tag.get(tag, 0) + block.size
+        )
+        return Allocation(
+            id=next(self._ids),
+            nbytes=block.size,
+            requested=int(nbytes),
+            tag=tag,
+            _block=block,
+        )
+
+    def free(self, allocation: Allocation) -> None:
+        """Return an allocation to the cache (idempotent)."""
+        block = allocation._block
+        if block is None:
+            return
+        allocation._block = None
+        self.allocated_bytes -= block.size
+        self.allocated_by_tag[allocation.tag] -= block.size
+        self.free_count += 1
+        self._push_free(block)
+        self._merge_neighbours(block)
+
+    def _merge_neighbours(self, block: _Block) -> None:
+        """Coalesce ``block`` with free neighbours in its segment."""
+        blocks = block.segment.blocks
+        index = blocks.index(block)
+        # Merge the right neighbour in, then fold into the left neighbour.
+        if index + 1 < len(blocks) and blocks[index + 1].free:
+            right = blocks[index + 1]
+            self._pop_free(block)
+            self._pop_free(right)
+            block.size += right.size
+            blocks.pop(index + 1)
+            self._push_free(block)
+        if index > 0 and blocks[index - 1].free:
+            left = blocks[index - 1]
+            self._pop_free(left)
+            self._pop_free(block)
+            left.size += block.size
+            blocks.pop(index)
+            self._push_free(left)
+
+    # ------------------------------------------------------------------
+    # Cache management (stage one of the OOM ladder)
+    # ------------------------------------------------------------------
+    def flush_cache(self) -> int:
+        """Release every fully-free segment back to the device.
+
+        Returns the bytes released. Partially-used segments stay reserved
+        (their free blocks remain cached) — freeing those requires evicting
+        the live allocations first, which is the ladder's stage two.
+        """
+        released = 0
+        keep: list[_Segment] = []
+        for segment in self._segments:
+            if segment.all_free:
+                for block in segment.blocks:
+                    self._pop_free(block)
+                released += segment.size
+            else:
+                keep.append(segment)
+        self._segments = keep
+        self.flush_count += 1
+        self.flushed_bytes += released
+        return released
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def would_fit(self, *nbytes: int) -> bool:
+        """Whether allocations of these sizes could fit an *empty* device
+        (the static Table III check: alignment-rounded sum vs capacity)."""
+        total = sum(aligned_nbytes(int(n), self.alignment) for n in nbytes)
+        return total <= self.capacity
+
+    def check_invariant(self) -> None:
+        """Assert the accounting identity (tests call this after every op)."""
+        segment_total = sum(s.size for s in self._segments)
+        if self.allocated_bytes + self.cached_bytes != segment_total:
+            raise AssertionError(
+                f"allocated {self.allocated_bytes} + cached "
+                f"{self.cached_bytes} != reserved {segment_total}"
+            )
+        if segment_total > self.capacity:
+            raise AssertionError(
+                f"reserved {segment_total} exceeds capacity {self.capacity}"
+            )
+        cached = sum(
+            b.size for blocks in self._free_lists.values() for b in blocks
+        )
+        if cached != self.cached_bytes:
+            raise AssertionError(
+                f"free-list bytes {cached} != cached gauge {self.cached_bytes}"
+            )
+
+    def snapshot(self) -> dict:
+        """Plain-dict gauge/counter snapshot (attached to OOM errors)."""
+        return {
+            "device": self.device.name,
+            "capacity_bytes": self.capacity,
+            "allocated_bytes": self.allocated_bytes,
+            "cached_bytes": self.cached_bytes,
+            "reserved_bytes": self.reserved_bytes,
+            "free_bytes": self.free_bytes,
+            "peak_allocated_bytes": self.peak_allocated_bytes,
+            "peak_reserved_bytes": self.peak_reserved_bytes,
+            "largest_available_bytes": self.largest_available(),
+            "fragmentation": self.fragmentation,
+            "segments": len(self._segments),
+            "allocated_by_tag": dict(self.allocated_by_tag),
+            "alloc_count": self.alloc_count,
+            "free_count": self.free_count,
+            "oom_count": self.oom_count,
+            "flush_count": self.flush_count,
+            "flushed_bytes": self.flushed_bytes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DeviceAllocator({self.device.name!r}, "
+            f"allocated={self.allocated_bytes}, cached={self.cached_bytes}, "
+            f"capacity={self.capacity})"
+        )

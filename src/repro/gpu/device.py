@@ -33,6 +33,9 @@ class DeviceSpec:
     #: Sustainable DRAM bandwidth (vendor peak; efficiency applied separately).
     dram_bandwidth: float = 900e9
     dram_capacity: int = 16 * 1024**3
+    #: Host-to-device link bandwidth (PCIe 3.0 x16 on both paper devices);
+    #: charged when an evicted operand has to be re-uploaded.
+    pcie_bandwidth: float = 16e9
     l2_capacity: int = 6 * 1024**2
     #: Aggregate L2 bandwidth across the device.
     l2_bandwidth: float = 2.5e12

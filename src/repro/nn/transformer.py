@@ -23,7 +23,7 @@ from ..datasets.attention import banded_random_mask
 from ..gpu.device import DeviceSpec
 from ..sparse.csr import CSRMatrix
 from .attention import dense_attention_cost, sparse_attention_cost
-from .profile import Profile
+from .profile import Profile, unmetered_dispatch
 
 #: Quality from Table III (bits per dimension; lower is better).
 REFERENCE_BITS_PER_DIM = {"dense": 3.76, "sparse": 3.77}
@@ -101,9 +101,10 @@ def profile_dense(config: TransformerConfig, device: DeviceSpec) -> Profile:
     profile.add_weights(config.weight_bytes())
     seq, dk = config.sequence_length, config.head_dim
     instances = config.batch_size * config.n_heads
-    for _ in range(config.n_layers):
-        _projection_costs(config, device, profile)
-        dense_attention_cost(seq, dk, instances, device, profile)
+    with unmetered_dispatch(device):
+        for _ in range(config.n_layers):
+            _projection_costs(config, device, profile)
+            dense_attention_cost(seq, dk, instances, device, profile)
     # Residual stream plus the per-batch-item attention working set: the
     # dense implementation keeps all heads' seq x seq scores live for one
     # batch item, and the dense softmax materializes a separate probability
@@ -127,9 +128,12 @@ def profile_sparse(
     if mask.shape != (config.sequence_length, config.sequence_length):
         raise ValueError("mask must be seq x seq")
     instances = config.batch_size * config.n_heads
-    for _ in range(config.n_layers):
-        _projection_costs(config, device, profile)
-        sparse_attention_cost(mask, config.head_dim, instances, device, profile)
+    with unmetered_dispatch(device):
+        for _ in range(config.n_layers):
+            _projection_costs(config, device, profile)
+            sparse_attention_cost(
+                mask, config.head_dim, instances, device, profile
+            )
     # Sparse scores share the mask's topology (indices stored once for all
     # heads) and the sparse softmax runs in place on the CSR values, so the
     # working set is one value buffer per head plus the shared indices —
@@ -146,21 +150,39 @@ def benchmark(
     variant: str,
     mask: CSRMatrix | None = None,
 ) -> TransformerReport:
-    """Produce one Table III row (throughput, memory, OOM status)."""
+    """Produce one Table III row (throughput, memory, OOM status).
+
+    The OOM verdict and the memory column both come from replaying the
+    profile's allocation timeline through a
+    :class:`~repro.gpu.allocator.DeviceAllocator` at the device's DRAM
+    capacity: when the pass fits, ``memory_bytes`` is the allocator's peak
+    *reserved* high-water mark (alignment and segment rounding included);
+    when it does not, the raw byte demand is reported instead — the
+    replay stops at the failing allocation, so its peak understates the
+    model's true footprint.
+    """
+    from ..gpu.allocator import DeviceAllocator
+
     if variant == "dense":
         profile = profile_dense(config, device)
     elif variant == "sparse":
         profile = profile_sparse(config, device, mask)
     else:
         raise ValueError(f"unknown variant {variant!r}")
-    fits = profile.fits(device)
+    allocator = DeviceAllocator(device, capacity=device.dram_capacity)
+    verdict = profile.replay(allocator)
+    fits = verdict["fits"]
     runtime = profile.runtime_s
     return TransformerReport(
         variant=variant,
         device_name=device.name,
         runtime_s=runtime,
         tokens_per_second=config.tokens / runtime if fits else 0.0,
-        memory_bytes=profile.total_memory_bytes,
+        memory_bytes=(
+            int(verdict["peak_reserved_bytes"])
+            if fits
+            else profile.total_memory_bytes
+        ),
         fits=fits,
         bits_per_dim=REFERENCE_BITS_PER_DIM[variant],
     )

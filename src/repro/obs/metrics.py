@@ -314,6 +314,9 @@ def bind_context_metrics(registry: MetricsRegistry, ctx) -> MetricsRegistry:
 
     - telemetry counters (pull, via :func:`bind_telemetry`);
     - plan-cache occupancy gauges and plan-store counters (pull);
+    - device-allocator gauges (allocated/reserved/cached/peak bytes,
+      fragmentation) and OOM/eviction counters when the context accounts
+      HBM capacity;
     - a pushed ``sim_launch_seconds`` histogram fed by
       ``Telemetry.record_launch`` from now on.
     """
@@ -325,6 +328,50 @@ def bind_context_metrics(registry: MetricsRegistry, ctx) -> MetricsRegistry:
         if ctx.store is not None:
             for key, value in ctx.store.stats.as_dict().items():
                 yield (f"plan_store_{key}", device, float(value))
+        memory = getattr(ctx, "memory", None)
+        if memory is not None:
+            yield ("hbm_capacity_bytes", device, float(memory.capacity))
+            yield (
+                "hbm_allocated_bytes", device, float(memory.allocated_bytes)
+            )
+            yield ("hbm_reserved_bytes", device, float(memory.reserved_bytes))
+            yield ("hbm_cached_bytes", device, float(memory.cached_bytes))
+            yield (
+                "hbm_peak_allocated_bytes",
+                device,
+                float(memory.peak_allocated_bytes),
+            )
+            yield (
+                "hbm_peak_reserved_bytes",
+                device,
+                float(memory.peak_reserved_bytes),
+            )
+            yield (
+                "hbm_fragmentation_ratio", device, float(memory.fragmentation)
+            )
+            yield ("hbm_oom_total", device, float(memory.oom_count))
+            yield ("hbm_flushes_total", device, float(memory.flush_count))
+            telemetry = ctx.telemetry
+            yield (
+                "hbm_plan_evictions_total",
+                device,
+                float(telemetry.plan_evictions),
+            )
+            yield (
+                "hbm_tensor_evictions_total",
+                device,
+                float(getattr(ctx, "tensor_evictions", 0)),
+            )
+            yield (
+                "hbm_bytes_evicted_total",
+                device,
+                float(telemetry.bytes_evicted),
+            )
+            yield (
+                "hbm_bytes_reuploaded_total",
+                device,
+                float(getattr(ctx, "bytes_reuploaded", 0)),
+            )
 
     registry.register_collector(collect_context)
     histogram = registry.histogram(

@@ -6,7 +6,11 @@ write_jsonl` (and appended to by sweep workers) and prints:
 - per-category span rollups (count, wall time, simulated time);
 - the top spans by wall duration;
 - per-kernel phase attribution tables rebuilt from ``launch`` records,
-  with roofline points against the recorded device's roofs.
+  with roofline points against the recorded device's roofs;
+- a memory-pressure section (peak/high-water HBM, fragmentation,
+  OOM/flush/eviction counts per op) rebuilt from ``oom``/``oom_flush``/
+  ``oom_evict`` span events and ``category="memory"`` summary spans
+  (see :meth:`repro.ops.context.ExecutionContext.emit_memory_span`).
 
 ``--json`` emits the same content as one JSON object for scripting (the
 CI ``obs-smoke`` job archives it next to the trace).
@@ -70,6 +74,66 @@ def rollup_launches(records: Iterable[dict]) -> dict[str, dict[str, Any]]:
     return out
 
 
+def rollup_memory(records: Iterable[dict]) -> dict[str, Any] | None:
+    """Aggregate memory-pressure evidence from a trace, or None if the
+    trace ran without HBM accounting (no events, no memory spans).
+
+    Counts ``oom`` / ``oom_flush`` / ``oom_evict`` span events (the
+    eviction ladder's breadcrumbs), attributes them to the op span they
+    fired inside, and folds in ``category="memory"`` summary spans whose
+    attrs carry the allocator snapshot.
+    """
+    ooms = 0
+    flushes = 0
+    flush_bytes = 0.0
+    evictions: dict[str, dict[str, float]] = {}
+    by_op: dict[str, dict[str, int]] = {}
+    snapshots: list[dict[str, Any]] = []
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        if record.get("cat") == "memory":
+            snapshots.append(dict(record.get("args") or {}))
+            continue
+        name = str(record.get("name", "?"))
+        for ev in record.get("events") or ():
+            ev_name = ev.get("name")
+            args = ev.get("args") or {}
+            if ev_name == "oom":
+                ooms += 1
+                op = str(args.get("op", name))
+                entry = by_op.setdefault(op, {"oom": 0, "evictions": 0})
+                entry["oom"] += 1
+            elif ev_name == "oom_flush":
+                flushes += 1
+                flush_bytes += float(args.get("bytes_freed", 0))
+            elif ev_name == "oom_evict":
+                kind = str(args.get("kind", "?"))
+                bucket = evictions.setdefault(kind, {"count": 0, "bytes": 0.0})
+                bucket["count"] += 1
+                bucket["bytes"] += float(
+                    args.get("bytes", args.get("bytes_freed", 0))
+                )
+                entry = by_op.setdefault(name, {"oom": 0, "evictions": 0})
+                entry["evictions"] += 1
+    if not (ooms or flushes or evictions or snapshots):
+        return None
+    out: dict[str, Any] = {
+        "oom_events": ooms,
+        "flushes": flushes,
+        "flush_bytes_freed": flush_bytes,
+        "evictions": evictions,
+        "by_op": by_op,
+    }
+    if snapshots:
+        # The last summary span is the end-of-run state; peaks are maxed
+        # across all summaries (multi-context traces emit one each).
+        out["snapshot"] = snapshots[-1]
+        for key in ("peak_allocated_bytes", "peak_reserved_bytes"):
+            out[key] = max(float(s.get(key, 0) or 0) for s in snapshots)
+    return out
+
+
 def _roofline(kernels: dict[str, dict[str, Any]]) -> list[dict[str, Any]]:
     """Roofline points per kernel against each record's own device roofs."""
     from ..gpu.device import get_device
@@ -123,6 +187,7 @@ def build_report(records: list[dict], top: int = 10) -> dict[str, Any]:
         "categories": rollup_spans(records),
         "kernels": kernels,
         "roofline": _roofline(kernels),
+        "memory": rollup_memory(records),
         "top_spans": [
             {
                 "name": r.get("name"),
@@ -186,6 +251,49 @@ def format_report(report: dict[str, Any]) -> str:
                     else ""
                 )
             )
+    memory = report.get("memory")
+    if memory:
+        lines += ["", "memory pressure:"]
+        snap = memory.get("snapshot") or {}
+        capacity = float(snap.get("capacity_bytes", 0) or 0)
+        peak = float(
+            memory.get("peak_reserved_bytes", 0)
+            or snap.get("peak_reserved_bytes", 0)
+            or 0
+        )
+        if peak or capacity:
+            line = f"  peak reserved: {peak / 2**30:.2f} GiB"
+            if capacity:
+                line += (
+                    f" / {capacity / 2**30:.2f} GiB cap"
+                    f" ({peak / capacity:.1%} high-water)"
+                )
+            lines.append(line)
+        if "fragmentation" in snap:
+            lines.append(
+                f"  fragmentation: {float(snap['fragmentation']):.1%}"
+            )
+        lines.append(
+            f"  oom events: {memory['oom_events']}  "
+            f"flushes: {memory['flushes']} "
+            f"(freed {memory['flush_bytes_freed'] / 2**20:.1f} MiB)"
+        )
+        if memory["evictions"]:
+            parts = [
+                f"{kind} {int(entry['count'])} "
+                f"({entry['bytes'] / 2**20:.1f} MiB)"
+                for kind, entry in sorted(memory["evictions"].items())
+            ]
+            lines.append("  evictions: " + ", ".join(parts))
+        if memory["by_op"]:
+            lines.append(
+                f"  {'op':24s} {'oom':>6s} {'evictions':>10s}"
+            )
+            for op, entry in sorted(memory["by_op"].items()):
+                lines.append(
+                    f"  {op[:24]:24s} {entry['oom']:6d} "
+                    f"{entry['evictions']:10d}"
+                )
     if report["top_spans"]:
         lines += ["", "top spans by wall time:"]
         for span in report["top_spans"]:

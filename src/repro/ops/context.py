@@ -18,6 +18,10 @@ from pathlib import Path
 
 import numpy as np
 
+from collections import OrderedDict
+from contextlib import nullcontext
+
+from ..baselines.aspt import memory_overhead_bytes as aspt_overhead_bytes
 from ..baselines.cublas import gemm_execution
 from ..core.config import SddmmConfig, SpmmConfig
 from ..core.csc_spmm import plan_spmm_csc
@@ -39,13 +43,25 @@ from ..core.spmm import (
     plan_spmm,
     plan_spmm_batched,
 )
+from ..gpu.allocator import (
+    Allocation,
+    DeviceAllocator,
+    capacity_from_env,
+    estimate_nbytes,
+)
 from ..gpu.device import V100, DeviceSpec
 from ..gpu.executor import ExecutionResult
+from ..reliability.errors import DeviceOOMError
 from ..sparse.csc import CSCMatrix
 from ..sparse.csr import CSRMatrix
 from ..tune import TuningResult, resolve_selector
 from ..tune import SELECTORS as SELECTORS  # noqa: PLC0414 - re-export
-from .plans import DEFAULT_MAX_PLANS, PlanCache, matrix_fingerprint
+from .plans import (
+    DEFAULT_MAX_PLANS,
+    PlanCache,
+    is_poisoned,
+    matrix_fingerprint,
+)
 from .store import PlanStore
 
 #: The telemetry snapshot contract: every per-(op, backend) counter and its
@@ -67,6 +83,9 @@ TELEMETRY_SCHEMA: dict[str, type] = {
     "store_hits": int,
     "store_misses": int,
     "store_evictions": int,
+    "oom_events": int,
+    "plan_evictions": int,
+    "bytes_evicted": int,
 }
 
 
@@ -93,6 +112,12 @@ class OpStats:
     store_hits: int = 0
     store_misses: int = 0
     store_evictions: int = 0
+    # Memory-pressure counters (populated when a device allocator is
+    # attached): allocation failures observed, resident plans evicted under
+    # pressure, and total bytes (plans + tensors) reclaimed.
+    oom_events: int = 0
+    plan_evictions: int = 0
+    bytes_evicted: int = 0
 
     def as_dict(self) -> dict[str, int | float]:
         """Snapshot row, coerced to the :data:`TELEMETRY_SCHEMA` types."""
@@ -177,6 +202,21 @@ class Telemetry:
     def record_backoff(self, op: str, backend: str, seconds: float) -> None:
         self._get(op, backend).backoff_seconds += seconds
 
+    # -- memory-pressure counters (fed by the context's allocator hooks) --
+    def record_oom(self, op: str, backend: str) -> None:
+        """One device allocation failure observed during this op."""
+        self._get(op, backend).oom_events += 1
+
+    def record_plan_eviction(self, op: str, backend: str, nbytes: int) -> None:
+        """One resident plan evicted under memory pressure."""
+        entry = self._get(op, backend)
+        entry.plan_evictions += 1
+        entry.bytes_evicted += nbytes
+
+    def record_bytes_evicted(self, op: str, backend: str, nbytes: int) -> None:
+        """Tensor-residency bytes reclaimed under memory pressure."""
+        self._get(op, backend).bytes_evicted += nbytes
+
     def reset(self) -> None:
         """Zero every counter (plans/caches are unaffected)."""
         self.stats.clear()
@@ -242,6 +282,18 @@ class Telemetry:
     def store_evictions(self) -> int:
         return sum(s.store_evictions for s in self.stats.values())
 
+    @property
+    def oom_events(self) -> int:
+        return sum(s.oom_events for s in self.stats.values())
+
+    @property
+    def plan_evictions(self) -> int:
+        return sum(s.plan_evictions for s in self.stats.values())
+
+    @property
+    def bytes_evicted(self) -> int:
+        return sum(s.bytes_evicted for s in self.stats.values())
+
     def summary(self) -> str:
         """One line per (op, backend), for logs and examples."""
         lines = []
@@ -268,12 +320,137 @@ class Telemetry:
         return "\n".join(lines)
 
 
+def _operand_bytes(matrix) -> int:
+    """Device footprint of one sparse operand (values + structure arrays)."""
+    fn = getattr(matrix, "memory_bytes", None)
+    if fn is not None:
+        return int(fn())
+    total = int(matrix.values.nbytes)
+    for attr in ("row_offsets", "column_indices", "col_offsets", "row_indices"):
+        arr = getattr(matrix, attr, None)
+        if arr is not None:
+            total += int(arr.nbytes)
+    return total
+
+
+def _residency_key(matrix, backend: str) -> tuple[str, str]:
+    """Device-residency identity of one sparse operand.
+
+    CSR matrices carry a memoized construction-time structure checksum, so
+    the hot path pays a ``getattr`` instead of a second content hash; CSC
+    (and anything else) falls back to :func:`matrix_fingerprint`. The
+    backend class is part of the key because ASpT keeps its own inflated
+    tiled representation resident next to the CSR arrays.
+    """
+    checksum = getattr(matrix, "_structure_checksum", None)
+    if checksum is None:
+        checksum = matrix_fingerprint(matrix)
+    return (checksum, "aspt" if backend == "aspt" else "csr")
+
+
+class _MemoryScope:
+    """Charges one dispatch's operands + workspace against the allocator.
+
+    ``__enter__`` makes every sparse operand device-resident (pinning it so
+    concurrent reclaim cannot evict what the running kernel reads), charges
+    ASpT's inflated metadata footprint for aspt dispatches, and allocates
+    the transient workspace. ``__exit__`` frees the workspace and unpins —
+    residency itself stays cached in the context until evicted under
+    pressure, which is what makes a sustained sweep accumulate footprint.
+    """
+
+    __slots__ = ("ctx", "op", "backend", "operands", "workspace",
+                 "_pinned", "_ws_alloc")
+
+    def __init__(self, ctx, op, backend, operands, workspace) -> None:
+        self.ctx = ctx
+        self.op = op
+        self.backend = backend
+        self.operands = operands
+        self.workspace = workspace
+        self._pinned: list = []
+        self._ws_alloc = None
+
+    def __enter__(self):
+        ctx = self.ctx
+        try:
+            for matrix in self.operands:
+                if not hasattr(matrix, "values"):
+                    continue
+                key = _residency_key(matrix, self.backend)
+                self._pin(key, matrix)
+                if key[1] == "aspt":
+                    # The CSR arrays stay resident alongside ASpT's
+                    # reordered tiles (the paper's ~3x metadata penalty).
+                    self._pin(_residency_key(matrix, "csr"), matrix)
+            if self.workspace > 0:
+                self._ws_alloc = ctx.try_allocate(
+                    self.workspace, "workspace", self.op, self.backend
+                )
+        except DeviceOOMError:
+            self._release()
+            raise
+        return self
+
+    def _pin(self, key, matrix) -> None:
+        ctx = self.ctx
+        alloc = ctx._resident.get(key)
+        if alloc is None:
+            nbytes = (
+                aspt_overhead_bytes(matrix)
+                if key[1] == "aspt"
+                else _operand_bytes(matrix)
+            )
+            alloc = ctx.try_allocate(
+                nbytes, "tensor", self.op, self.backend, protect=None
+            )
+            ctx._resident[key] = alloc
+            if key in ctx._evicted_keys:
+                # An evicted operand coming back means a host->device
+                # re-upload; the benchmark charges it at PCIe bandwidth.
+                ctx._evicted_keys.discard(key)
+                ctx.bytes_reuploaded += alloc.nbytes
+        else:
+            ctx._resident.move_to_end(key)
+        ctx._pinned[key] = ctx._pinned.get(key, 0) + 1
+        self._pinned.append(key)
+
+    def _release(self) -> None:
+        ctx = self.ctx
+        if self._ws_alloc is not None:
+            ctx.memory.free(self._ws_alloc)
+            self._ws_alloc = None
+        for key in self._pinned:
+            count = ctx._pinned.get(key, 0) - 1
+            if count > 0:
+                ctx._pinned[key] = count
+            else:
+                ctx._pinned.pop(key, None)
+        self._pinned = []
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._release()
+
+
+#: Shared no-op scope for contexts with accounting disabled.
+_NULL_SCOPE = nullcontext()
+
+
 class ExecutionContext:
     """Device + plan cache + telemetry for the dispatch layer.
 
     One context maps to one simulated device; plans built against a
     different :class:`DeviceSpec` never share a cache, so keys only need
     (op, matrix fingerprint, problem dims, config).
+
+    ``memory`` controls HBM capacity accounting:
+
+    - ``None`` (default): a fresh :class:`DeviceAllocator` capped at the
+      device's ``dram_capacity`` (or the ``REPRO_HBM_CAP`` override, which
+      can also disable accounting with ``off``);
+    - an ``int``: a fresh allocator with that capacity in bytes;
+    - a :class:`DeviceAllocator`: used as-is (shared accounting);
+    - ``False``: accounting disabled (``ctx.memory is None``).
     """
 
     def __init__(
@@ -282,6 +459,7 @@ class ExecutionContext:
         max_plans: int = DEFAULT_MAX_PLANS,
         store: PlanStore | str | Path | None = None,
         tracer=None,
+        memory: DeviceAllocator | int | bool | None = None,
     ) -> None:
         self.device = device
         self.plans = PlanCache(max_plans)
@@ -304,6 +482,38 @@ class ExecutionContext:
         #: annotate it; when ``None``, dispatch pays one attribute check.
         self.tracer = tracer
         self._metrics = None
+        #: The capacity-aware device allocator (``None`` = accounting off).
+        if memory is False:
+            self.memory = None
+        elif memory is None:
+            cap = capacity_from_env(device.dram_capacity)
+            self.memory = (
+                DeviceAllocator(device, cap) if cap is not None else None
+            )
+        elif isinstance(memory, DeviceAllocator):
+            self.memory = memory
+        else:
+            self.memory = DeviceAllocator(device, int(memory))
+        #: LRU of device-resident sparse operands, keyed by
+        #: (structure checksum, representation class).
+        self._resident: OrderedDict[tuple, Allocation] = OrderedDict()
+        #: Pin refcounts over ``_resident`` (in-flight dispatch scopes).
+        self._pinned: dict[tuple, int] = {}
+        #: Bytes charged per resident plan-cache entry.
+        self._plan_allocs: dict[tuple, Allocation] = {}
+        #: Plan keys the store must never receive (tuning results that fell
+        #: back under injected faults — see ``_cached``'s ``storable``).
+        self._no_spill: set = set()
+        #: Residency keys evicted under pressure; re-pinning one counts as
+        #: a host->device re-upload in ``bytes_reuploaded``.
+        self._evicted_keys: set = set()
+        self.bytes_reuploaded = 0
+        self.tensor_evictions = 0
+        #: (op, backend) attribution for reclaim work triggered outside a
+        #: dispatch scope (e.g. the policy ladder's explicit eviction).
+        self._mem_attr = ("memory", "allocator")
+        self._reclaiming = False
+        self.plans.on_evict = self._on_plan_evicted
 
     def __repr__(self) -> str:
         return (
@@ -351,14 +561,213 @@ class ExecutionContext:
                 if span is not None:
                     span.set(plan_cache="miss", plan_source="store")
                 self.plans.put(key, stored)
+                self._charge_plan(key, stored, op, backend)
                 return stored
         value = build()
         if span is not None:
             span.set(plan_cache="miss", plan_source="built")
         self.plans.put(key, value)
-        if self.store is not None and (storable is None or storable(value)):
-            self.store.save((self.device,) + key, value)
+        if storable is None or storable(value):
+            if self.store is not None:
+                self.store.save((self.device,) + key, value)
+        else:
+            self._no_spill.add(key)
+        self._charge_plan(key, value, op, backend)
         return value
+
+    # ------------------------------------------------------------------
+    # HBM capacity accounting (see DESIGN.md Section 14)
+    # ------------------------------------------------------------------
+    def _current_span(self):
+        return self.tracer.current if self.tracer is not None else None
+
+    def memory_scope(self, op: str, backend: str, operands=(), workspace=0):
+        """Scope charging one dispatch's operand residency + workspace.
+
+        A no-op when accounting is disabled. Operand residency persists
+        beyond the scope (LRU, evictable under pressure); the workspace is
+        transient and freed on exit.
+        """
+        if self.memory is None:
+            return _NULL_SCOPE
+        return _MemoryScope(self, op, backend, operands, int(workspace))
+
+    def try_allocate(
+        self,
+        nbytes: int,
+        tag: str = "tensor",
+        op: str = "memory",
+        backend: str = "allocator",
+        protect=None,
+    ) -> Allocation | None:
+        """Allocate with in-line reclaim: flush the segment cache, then
+        evict cold residency (tensors first, then plans — spilled to the
+        store) until the request fits or nothing is left to reclaim.
+
+        ``protect`` names a plan key that must survive reclaim (the entry
+        being charged). Raises :class:`DeviceOOMError` — with the
+        allocator snapshot attached — when reclaim is exhausted; the
+        dispatch policy then continues the ladder with backend fallback.
+        """
+        mem = self.memory
+        if mem is None:
+            return None
+        flushed = False
+        while True:
+            try:
+                return mem.allocate(nbytes, tag)
+            except DeviceOOMError:
+                self.telemetry.record_oom(op, backend)
+                span = self._current_span()
+                if span is not None:
+                    span.event(
+                        "oom",
+                        op=op,
+                        backend=backend,
+                        requested=int(nbytes),
+                        tag=tag,
+                    )
+                if not flushed:
+                    flushed = True
+                    freed = mem.flush_cache()
+                    if span is not None:
+                        span.event("oom_flush", bytes_freed=freed)
+                    if freed:
+                        continue
+                if not self._evict_one(op, backend, protect=protect):
+                    raise
+                # Eviction frees blocks into the cache; release any
+                # now-empty segments so a fresh reservation can fit.
+                mem.flush_cache()
+
+    def _evict_one(self, op: str, backend: str, protect=None) -> int:
+        """Reclaim one cold entry; returns the bytes freed (0 = nothing).
+
+        Unpinned tensor residency goes first (oldest first — big wins,
+        cheap to re-upload), then charged plan-cache entries (spilled to
+        the persistent store by the eviction callback, never just lost).
+        """
+        for key in list(self._resident):
+            if self._pinned.get(key):
+                continue
+            alloc = self._resident.pop(key)
+            self.memory.free(alloc)
+            self._evicted_keys.add(key)
+            self.tensor_evictions += 1
+            self.telemetry.record_bytes_evicted(op, backend, alloc.nbytes)
+            span = self._current_span()
+            if span is not None:
+                span.event("oom_evict", kind="tensor", bytes=alloc.nbytes)
+            return alloc.nbytes
+        for key in self.plans.keys():
+            if key == protect or key not in self._plan_allocs:
+                continue
+            nbytes = self._plan_allocs[key].nbytes
+            prev_attr = self._mem_attr
+            self._mem_attr = (op, backend)
+            self._reclaiming = True
+            try:
+                self.plans.evict(key)
+            finally:
+                self._reclaiming = False
+                self._mem_attr = prev_attr
+            span = self._current_span()
+            if span is not None:
+                span.event("oom_evict", kind="plan", bytes=nbytes)
+            return nbytes
+        return 0
+
+    def _charge_plan(self, key, value, op: str, backend: str) -> None:
+        """Charge a freshly-cached plan's footprint against the device."""
+        if self.memory is None or key in self._plan_allocs:
+            return
+        nbytes = estimate_nbytes(value)
+        if nbytes <= 0:
+            return
+        try:
+            alloc = self.try_allocate(nbytes, "plan", op, backend, protect=key)
+        except DeviceOOMError:
+            # The plan itself cannot fit even after reclaim: it must not
+            # linger uncharged in the cache, and the dispatch policy gets
+            # the OOM to drive backend fallback.
+            self.plans.evict(key)
+            raise
+        self._plan_allocs[key] = alloc
+
+    def _on_plan_evicted(self, key, value) -> None:
+        """Plan-cache eviction observer: spill to the store, free bytes."""
+        spillable = (
+            self.store is not None
+            and not is_poisoned(value)
+            and key not in self._no_spill
+        )
+        self._no_spill.discard(key)
+        alloc = self._plan_allocs.pop(key, None)
+        if alloc is None:
+            return
+        if spillable:
+            full_key = (self.device,) + key
+            if full_key not in self.store:
+                self.store.save(full_key, value)
+        self.memory.free(alloc)
+        if self._reclaiming:
+            op, backend = self._mem_attr
+            self.telemetry.record_plan_eviction(op, backend, alloc.nbytes)
+
+    def flush_device_cache(self) -> int:
+        """Release the allocator's fully-free segments (ladder stage 1)."""
+        if self.memory is None:
+            return 0
+        return self.memory.flush_cache()
+
+    def evict_device_bytes(
+        self, nbytes: int, op: str = "memory", backend: str = "allocator"
+    ) -> int:
+        """Evict cold residency until ``nbytes`` are freed (ladder stage 2).
+
+        Returns the bytes actually reclaimed (possibly 0, possibly more
+        than asked — eviction is whole-entry).
+        """
+        if self.memory is None:
+            return 0
+        target = max(int(nbytes), 1)
+        freed = 0
+        while freed < target:
+            got = self._evict_one(op, backend)
+            if not got:
+                break
+            freed += got
+        self.memory.flush_cache()
+        return freed
+
+    def memory_snapshot(self) -> dict | None:
+        """Allocator gauges + context residency/eviction counters, or
+        ``None`` when accounting is disabled."""
+        if self.memory is None:
+            return None
+        snap = self.memory.snapshot()
+        snap.update(
+            resident_tensors=len(self._resident),
+            resident_plans=len(self._plan_allocs),
+            tensor_evictions=self.tensor_evictions,
+            plan_evictions=self.telemetry.plan_evictions,
+            oom_events=self.telemetry.oom_events,
+            bytes_evicted=self.telemetry.bytes_evicted,
+            bytes_reuploaded=self.bytes_reuploaded,
+        )
+        return snap
+
+    def emit_memory_span(self) -> None:
+        """Emit a ``category="memory"`` span carrying the allocator
+        snapshot, so the offline report CLI can render a memory section."""
+        if self.tracer is None or self.memory is None:
+            return
+        snap = self.memory_snapshot()
+        attrs = {
+            k: v for k, v in snap.items() if not isinstance(v, dict)
+        }
+        with self.tracer.span("memory_summary", category="memory", **attrs):
+            pass
 
     # ------------------------------------------------------------------
     # Telemetry API (benchmarks/tests use this, not the raw counters)

@@ -72,6 +72,28 @@ def _fast_path(ctx: ExecutionContext, backend, validate: bool) -> bool:
     return isinstance(backend, str) and not validate and ctx.injector is None
 
 
+# ----------------------------------------------------------------------
+# Transient workspace footprints (charged against the device allocator
+# for the duration of one dispatch; operand residency persists).
+# ----------------------------------------------------------------------
+def _spmm_workspace(a, n: int, h: int = 1) -> int:
+    vb = a.values.dtype.itemsize
+    return (a.shape[0] * n + a.shape[1] * n) * vb * h
+
+
+def _sddmm_workspace(mask, k: int, h: int = 1) -> int:
+    vb = mask.values.dtype.itemsize
+    return (mask.nnz + (mask.shape[0] + mask.shape[1]) * k) * vb * h
+
+
+def _softmax_workspace(a, h: int = 1) -> int:
+    return a.nnz * a.values.dtype.itemsize * h
+
+
+def _gemm_workspace(m: int, n: int, k: int, element_bytes: int = 4) -> int:
+    return (m * k + k * n + m * n) * element_bytes
+
+
 def _op_span(ctx: ExecutionContext, op: str, backend):
     """A dispatch span when the context is traced, else the no-op span."""
     tracer = ctx.tracer
@@ -98,16 +120,37 @@ def _policy_dispatch(
     fp32_call=None,
     cost: bool = False,
     span=NO_SPAN,
+    workspace: int = 0,
 ):
-    """Route one op call through the reliability policy loop."""
+    """Route one op call through the reliability policy loop.
+
+    When the context accounts HBM capacity, every attempt is wrapped in a
+    per-backend memory scope — so falling back from aspt to sputnik really
+    does shrink the charged footprint, which is stage 3 of the OOM
+    degradation ladder.
+    """
     policy = as_policy(backend, validate=True if validate else None)
+    attempt = call
+    fp32_attempt = fp32_call
+    if ctx.memory is not None:
+
+        def attempt(be: str, _call=call):
+            with ctx.memory_scope(op, be, operands, workspace):
+                return _call(be)
+
+        if fp32_call is not None:
+
+            def fp32_attempt(be: str, _call=fp32_call):
+                with ctx.memory_scope(op, be, operands, workspace):
+                    return _call(be)
+
     result = run_with_policy(
         ctx,
         op,
         policy,
-        call,
+        attempt,
         operands=operands,
-        fp32_attempt=fp32_call,
+        fp32_attempt=fp32_attempt,
         registered=set(available(op)),
         exact_backends=exact_backends(op),
     )
@@ -142,7 +185,9 @@ def spmm(
     with _op_span(ctx, "spmm", backend) as span:
         if _fast_path(ctx, backend, validate):
             impl = get_impl("spmm", backend)
-            result = impl.run(ctx, a, b, config, selector)
+            ws = _spmm_workspace(a, b.shape[1])
+            with ctx.memory_scope("spmm", backend, (a,), ws):
+                result = impl.run(ctx, a, b, config, selector)
             ctx.telemetry.record_launch("spmm", backend, result.execution)
             span.add_sim(result.execution.runtime_s)
             return result
@@ -165,6 +210,7 @@ def spmm(
         return _policy_dispatch(
             ctx, "spmm", backend, validate, call,
             operands=(a,), fp32_call=fp32_call, span=span,
+            workspace=_spmm_workspace(a, b.shape[1]),
         )
 
 
@@ -185,7 +231,8 @@ def spmm_cost(
     with _op_span(ctx, "spmm", backend) as span:
         if _fast_path(ctx, backend, validate):
             impl = get_impl("spmm", backend)
-            result = impl.cost(ctx, a, n, config, selector, **kwargs)
+            with ctx.memory_scope("spmm", backend, (a,), _spmm_workspace(a, n)):
+                result = impl.cost(ctx, a, n, config, selector, **kwargs)
             ctx.telemetry.record_launch("spmm", backend, result)
             span.add_sim(result.runtime_s)
             return result
@@ -200,6 +247,7 @@ def spmm_cost(
         return _policy_dispatch(
             ctx, "spmm", backend, validate, call,
             operands=(a,), cost=True, span=span,
+            workspace=_spmm_workspace(a, n),
         )
 
 
@@ -220,7 +268,9 @@ def sddmm(
     with _op_span(ctx, "sddmm", backend) as span:
         if _fast_path(ctx, backend, validate):
             impl = get_impl("sddmm", backend)
-            result = impl.run(ctx, lhs, rhs, mask, config, selector)
+            ws = _sddmm_workspace(mask, lhs.shape[1])
+            with ctx.memory_scope("sddmm", backend, (mask,), ws):
+                result = impl.run(ctx, lhs, rhs, mask, config, selector)
             ctx.telemetry.record_launch("sddmm", backend, result.execution)
             span.add_sim(result.execution.runtime_s)
             return result
@@ -242,6 +292,7 @@ def sddmm(
         return _policy_dispatch(
             ctx, "sddmm", backend, validate, call,
             operands=(mask,), fp32_call=fp32_call, span=span,
+            workspace=_sddmm_workspace(mask, lhs.shape[1]),
         )
 
 
@@ -261,7 +312,9 @@ def sddmm_cost(
     with _op_span(ctx, "sddmm", backend) as span:
         if _fast_path(ctx, backend, validate):
             impl = get_impl("sddmm", backend)
-            result = impl.cost(ctx, mask, k, config, selector)
+            ws = _sddmm_workspace(mask, k)
+            with ctx.memory_scope("sddmm", backend, (mask,), ws):
+                result = impl.cost(ctx, mask, k, config, selector)
             ctx.telemetry.record_launch("sddmm", backend, result)
             span.add_sim(result.runtime_s)
             return result
@@ -275,6 +328,7 @@ def sddmm_cost(
         return _policy_dispatch(
             ctx, "sddmm", backend, validate, call,
             operands=(mask,), cost=True, span=span,
+            workspace=_sddmm_workspace(mask, k),
         )
 
 
@@ -292,7 +346,10 @@ def sparse_softmax(
     with _op_span(ctx, "sparse_softmax", backend) as span:
         if _fast_path(ctx, backend, validate):
             impl = get_impl("sparse_softmax", backend)
-            result = impl.run(ctx, a, scale)
+            with ctx.memory_scope(
+                "sparse_softmax", backend, (a,), _softmax_workspace(a)
+            ):
+                result = impl.run(ctx, a, scale)
             ctx.telemetry.record_launch(
                 "sparse_softmax", backend, result.execution
             )
@@ -313,6 +370,7 @@ def sparse_softmax(
         return _policy_dispatch(
             ctx, "sparse_softmax", backend, validate, call,
             operands=(a,), fp32_call=fp32_call, span=span,
+            workspace=_softmax_workspace(a),
         )
 
 
@@ -329,7 +387,10 @@ def sparse_softmax_cost(
     with _op_span(ctx, "sparse_softmax", backend) as span:
         if _fast_path(ctx, backend, validate):
             impl = get_impl("sparse_softmax", backend)
-            result = impl.cost(ctx, a)
+            with ctx.memory_scope(
+                "sparse_softmax", backend, (a,), _softmax_workspace(a)
+            ):
+                result = impl.cost(ctx, a)
             ctx.telemetry.record_launch("sparse_softmax", backend, result)
             span.add_sim(result.runtime_s)
             return result
@@ -340,6 +401,7 @@ def sparse_softmax_cost(
         return _policy_dispatch(
             ctx, "sparse_softmax", backend, validate, call,
             operands=(a,), cost=True, span=span,
+            workspace=_softmax_workspace(a),
         )
 
 
@@ -373,7 +435,9 @@ def spmm_batched(
         span.set(batch=h)
         if _fast_path(ctx, backend, validate):
             impl = get_impl("spmm_batched", backend)
-            result = impl.run(ctx, a, b_stack, config, selector, values)
+            ws = _spmm_workspace(a, b_stack.shape[2], h)
+            with ctx.memory_scope("spmm_batched", backend, (a,), ws):
+                result = impl.run(ctx, a, b_stack, config, selector, values)
             ctx.telemetry.record_launch(
                 "spmm_batched", backend, result.execution
             )
@@ -405,6 +469,7 @@ def spmm_batched(
         return _policy_dispatch(
             ctx, "spmm_batched", backend, validate, call,
             operands=(a,), fp32_call=fp32_call, span=span,
+            workspace=_spmm_workspace(a, b_stack.shape[2], h),
         )
 
 
@@ -426,7 +491,9 @@ def spmm_batched_cost(
         span.set(batch=h)
         if _fast_path(ctx, backend, validate):
             impl = get_impl("spmm_batched", backend)
-            result = impl.cost(ctx, a, n, h, config, selector)
+            ws = _spmm_workspace(a, n, h)
+            with ctx.memory_scope("spmm_batched", backend, (a,), ws):
+                result = impl.cost(ctx, a, n, h, config, selector)
             ctx.telemetry.record_launch("spmm_batched", backend, result)
             span.add_sim(result.runtime_s)
             return result
@@ -442,6 +509,7 @@ def spmm_batched_cost(
         return _policy_dispatch(
             ctx, "spmm_batched", backend, validate, call,
             operands=(a,), cost=True, span=span,
+            workspace=_spmm_workspace(a, n, h),
         )
 
 
@@ -474,7 +542,11 @@ def sddmm_batched(
         span.set(batch=h)
         if _fast_path(ctx, backend, validate):
             impl = get_impl("sddmm_batched", backend)
-            result = impl.run(ctx, lhs_stack, rhs_stack, mask, config, selector)
+            ws = _sddmm_workspace(mask, lhs_stack.shape[2], h)
+            with ctx.memory_scope("sddmm_batched", backend, (mask,), ws):
+                result = impl.run(
+                    ctx, lhs_stack, rhs_stack, mask, config, selector
+                )
             ctx.telemetry.record_launch(
                 "sddmm_batched", backend, result.execution
             )
@@ -492,6 +564,7 @@ def sddmm_batched(
         return _policy_dispatch(
             ctx, "sddmm_batched", backend, validate, call,
             operands=(mask,), span=span,
+            workspace=_sddmm_workspace(mask, lhs_stack.shape[2], h),
         )
 
 
@@ -513,7 +586,9 @@ def sddmm_batched_cost(
         span.set(batch=h)
         if _fast_path(ctx, backend, validate):
             impl = get_impl("sddmm_batched", backend)
-            result = impl.cost(ctx, mask, k, h, config, selector)
+            ws = _sddmm_workspace(mask, k, h)
+            with ctx.memory_scope("sddmm_batched", backend, (mask,), ws):
+                result = impl.cost(ctx, mask, k, h, config, selector)
             ctx.telemetry.record_launch("sddmm_batched", backend, result)
             span.add_sim(result.runtime_s)
             return result
@@ -529,6 +604,7 @@ def sddmm_batched_cost(
         return _policy_dispatch(
             ctx, "sddmm_batched", backend, validate, call,
             operands=(mask,), cost=True, span=span,
+            workspace=_sddmm_workspace(mask, k, h),
         )
 
 
@@ -553,7 +629,9 @@ def sparse_softmax_batched(
         span.set(batch=h)
         if _fast_path(ctx, backend, validate):
             impl = get_impl("sparse_softmax_batched", backend)
-            result = impl.run(ctx, a, values, scale)
+            ws = _softmax_workspace(a, h)
+            with ctx.memory_scope("sparse_softmax_batched", backend, (a,), ws):
+                result = impl.run(ctx, a, values, scale)
             ctx.telemetry.record_launch(
                 "sparse_softmax_batched", backend, result.execution
             )
@@ -576,6 +654,7 @@ def sparse_softmax_batched(
         return _policy_dispatch(
             ctx, "sparse_softmax_batched", backend, validate, call,
             operands=(a,), fp32_call=fp32_call, span=span,
+            workspace=_softmax_workspace(a, h),
         )
 
 
@@ -594,7 +673,9 @@ def sparse_softmax_batched_cost(
         span.set(batch=h)
         if _fast_path(ctx, backend, validate):
             impl = get_impl("sparse_softmax_batched", backend)
-            result = impl.cost(ctx, a, h)
+            ws = _softmax_workspace(a, h)
+            with ctx.memory_scope("sparse_softmax_batched", backend, (a,), ws):
+                result = impl.cost(ctx, a, h)
             ctx.telemetry.record_launch(
                 "sparse_softmax_batched", backend, result
             )
@@ -607,6 +688,7 @@ def sparse_softmax_batched_cost(
         return _policy_dispatch(
             ctx, "sparse_softmax_batched", backend, validate, call,
             operands=(a,), cost=True, span=span,
+            workspace=_softmax_workspace(a, h),
         )
 
 
@@ -625,7 +707,9 @@ def csc_spmm(
     with _op_span(ctx, "csc_spmm", backend) as span:
         if _fast_path(ctx, backend, validate):
             impl = get_impl("csc_spmm", backend)
-            result = impl.run(ctx, b, a, config)
+            ws = _spmm_workspace(a, b.shape[0])
+            with ctx.memory_scope("csc_spmm", backend, (a,), ws):
+                result = impl.run(ctx, b, a, config)
             ctx.telemetry.record_launch("csc_spmm", backend, result.execution)
             span.add_sim(result.execution.runtime_s)
             return result
@@ -634,7 +718,8 @@ def csc_spmm(
             return get_impl("csc_spmm", be).run(ctx, b, a, config)
 
         return _policy_dispatch(
-            ctx, "csc_spmm", backend, validate, call, operands=(a,), span=span
+            ctx, "csc_spmm", backend, validate, call, operands=(a,),
+            span=span, workspace=_spmm_workspace(a, b.shape[0]),
         )
 
 
@@ -653,7 +738,9 @@ def csc_spmm_cost(
     with _op_span(ctx, "csc_spmm", backend) as span:
         if _fast_path(ctx, backend, validate):
             impl = get_impl("csc_spmm", backend)
-            result = impl.cost(ctx, a, n, config)
+            ws = _spmm_workspace(a, n)
+            with ctx.memory_scope("csc_spmm", backend, (a,), ws):
+                result = impl.cost(ctx, a, n, config)
             ctx.telemetry.record_launch("csc_spmm", backend, result)
             span.add_sim(result.runtime_s)
             return result
@@ -664,6 +751,7 @@ def csc_spmm_cost(
         return _policy_dispatch(
             ctx, "csc_spmm", backend, validate, call,
             operands=(a,), cost=True, span=span,
+            workspace=_spmm_workspace(a, n),
         )
 
 
@@ -678,10 +766,16 @@ def matmul(
 ) -> KernelResult:
     """Dense ``A @ B`` (the models' dense projections and baselines)."""
     ctx = resolve_context(context, device)
+    a = np.asarray(a)
+    b = np.asarray(b)
     with _op_span(ctx, "matmul", backend) as span:
         if _fast_path(ctx, backend, validate):
             impl = get_impl("matmul", backend)
-            result = impl.run(ctx, a, b)
+            ws = _gemm_workspace(
+                a.shape[0], b.shape[1], a.shape[1], a.dtype.itemsize
+            )
+            with ctx.memory_scope("matmul", backend, (), ws):
+                result = impl.run(ctx, a, b)
             ctx.telemetry.record_launch("matmul", backend, result.execution)
             span.add_sim(result.execution.runtime_s)
             return result
@@ -690,7 +784,10 @@ def matmul(
             return get_impl("matmul", be).run(ctx, a, b)
 
         return _policy_dispatch(
-            ctx, "matmul", backend, validate, call, span=span
+            ctx, "matmul", backend, validate, call, span=span,
+            workspace=_gemm_workspace(
+                a.shape[0], b.shape[1], a.shape[1], a.dtype.itemsize
+            ),
         )
 
 
@@ -710,7 +807,9 @@ def matmul_cost(
     with _op_span(ctx, "matmul", backend) as span:
         if _fast_path(ctx, backend, validate):
             impl = get_impl("matmul", backend)
-            result = impl.cost(ctx, m, n, k, element_bytes)
+            ws = _gemm_workspace(m, n, k, element_bytes)
+            with ctx.memory_scope("matmul", backend, (), ws):
+                result = impl.cost(ctx, m, n, k, element_bytes)
             ctx.telemetry.record_launch("matmul", backend, result)
             span.add_sim(result.runtime_s)
             return result
@@ -719,5 +818,6 @@ def matmul_cost(
             return get_impl("matmul", be).cost(ctx, m, n, k, element_bytes)
 
         return _policy_dispatch(
-            ctx, "matmul", backend, validate, call, cost=True, span=span
+            ctx, "matmul", backend, validate, call, cost=True, span=span,
+            workspace=_gemm_workspace(m, n, k, element_bytes),
         )

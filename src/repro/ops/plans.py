@@ -35,6 +35,15 @@ class _PoisonedEntry:
 
 _POISONED = _PoisonedEntry()
 
+
+def is_poisoned(value: Any) -> bool:
+    """Whether a cache value is the corruption sentinel, not a real plan.
+
+    Eviction observers use this to avoid spilling the sentinel to the
+    persistent store (a poisoned entry must be re-planned, never reloaded).
+    """
+    return value is _POISONED
+
 #: Default maximum number of cached plans per context. Plans hold the
 #: swizzled row order and ROMA extents (O(rows) each), so a few hundred is
 #: cheap; LRU eviction bounds the worst case for benchmark sweeps.
@@ -76,6 +85,12 @@ class PlanCache:
 
     Keys are arbitrary hashable tuples; by convention the first element is
     the op name and the second the operand fingerprint (or dense dims).
+
+    ``on_evict(key, value)`` — when set — observes every entry leaving the
+    cache (LRU overflow in :meth:`put`, explicit :meth:`evict`, and
+    :meth:`clear`), so an owner charging plans against a device allocator
+    can release (or spill) the bytes. Poison sentinels are reported too;
+    consumers must treat the value as opaque.
     """
 
     def __init__(self, max_entries: int = DEFAULT_MAX_PLANS) -> None:
@@ -83,6 +98,7 @@ class PlanCache:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.on_evict: Callable[[Hashable, Any], None] | None = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -113,7 +129,9 @@ class PlanCache:
         self._entries[key] = value
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            old_key, old_value = self._entries.popitem(last=False)
+            if self.on_evict is not None:
+                self.on_evict(old_key, old_value)
 
     def get_or_build(
         self, key: Hashable, build: Callable[[], Any]
@@ -127,11 +145,16 @@ class PlanCache:
         return value, False
 
     def clear(self) -> None:
+        if self.on_evict is not None:
+            for key, value in list(self._entries.items()):
+                self.on_evict(key, value)
         self._entries.clear()
 
     def evict(self, key: Hashable) -> None:
         """Drop one entry (recovery path for poisoned plans)."""
-        self._entries.pop(key, None)
+        value = self._entries.pop(key, None)
+        if value is not None and self.on_evict is not None:
+            self.on_evict(key, value)
 
     def keys(self) -> list[Hashable]:
         """Snapshot of the cached keys (LRU order, oldest first)."""

@@ -31,6 +31,7 @@ Quick start::
 
 from .errors import (
     AttemptRecord,
+    DeviceOOMError,
     FallbackExhaustedError,
     InvalidTopologyError,
     KernelLaunchError,
@@ -60,6 +61,7 @@ __all__ = [
     "InvalidTopologyError",
     "NumericalError",
     "PlanCorruptionError",
+    "DeviceOOMError",
     "FallbackExhaustedError",
     "AttemptRecord",
     "classify",

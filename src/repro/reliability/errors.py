@@ -74,6 +74,31 @@ class PlanCorruptionError(ReliabilityError):
         self.key = key
 
 
+class DeviceOOMError(ReliabilityError):
+    """A device allocation exceeded the remaining HBM capacity.
+
+    Retryable: the dispatch policy runs a degradation ladder before giving
+    up — flush the allocator's cached segments, evict cold plans/tensors
+    (spilling plans to the persistent store), then fall back to a
+    lower-footprint backend. ``snapshot`` is the allocator's gauge/counter
+    dict at the moment of exhaustion, for post-mortem diagnosis.
+    """
+
+    retryable = True
+
+    def __init__(
+        self,
+        message: str,
+        requested: int = 0,
+        capacity: int = 0,
+        snapshot: dict | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.requested = requested
+        self.capacity = capacity
+        self.snapshot = snapshot
+
+
 @dataclass
 class AttemptRecord:
     """One dispatch attempt inside a fallback chain."""
@@ -90,6 +115,9 @@ class FallbackExhaustedError(ReliabilityError):
 
     op: str
     attempts: list[AttemptRecord] = field(default_factory=list)
+    #: Allocator gauge/counter snapshot when the chain died under memory
+    #: pressure (``None`` for non-OOM exhaustion).
+    snapshot: dict | None = None
 
     retryable = False
 

@@ -20,6 +20,10 @@ Fault kinds and the real-GPU failure they stand in for:
   entry and re-plans.
 - ``"latency"`` — a straggler launch (thermal throttle, PCIe contention):
   adds ``latency_s`` of simulated time to the attempt, never an error.
+- ``"oom"`` — a device allocation failure (``cudaErrorMemoryAllocation``)
+  at an arbitrary dispatch point, regardless of actual allocator state.
+  Raised as :class:`~repro.reliability.errors.DeviceOOMError`; recovery
+  runs the policy's degradation ladder (flush → evict → backend fallback).
 
 ``site="executor"`` moves a ``"launch"`` fault inside
 :func:`repro.gpu.executor.execute` (matched by launch name), so failures
@@ -38,9 +42,9 @@ from ..gpu.executor import (
     unregister_launch_observer,
 )
 from ..gpu.memory import flip_bit
-from .errors import KernelLaunchError
+from .errors import DeviceOOMError, KernelLaunchError
 
-FAULT_KINDS = ("launch", "bitflip", "plan_poison", "latency")
+FAULT_KINDS = ("launch", "bitflip", "plan_poison", "latency", "oom")
 SITES = ("dispatch", "executor")
 
 
@@ -194,6 +198,22 @@ class FaultInjector:
                     continue  # empty cache; nothing to poison
                 self._record(spec, op, backend, detail)
                 ctx.telemetry.record_fault(op, backend)
+            elif spec.kind == "oom":
+                self._record(spec, op, backend, "simulated allocation failure")
+                ctx.telemetry.record_fault(op, backend)
+                recorder = getattr(ctx.telemetry, "record_oom", None)
+                if recorder is not None:
+                    recorder(op, backend)
+                memory = getattr(ctx, "memory", None)
+                raise DeviceOOMError(
+                    f"injected allocation failure for {op}/{backend} "
+                    f"(fault #{len(self.log) - 1})",
+                    requested=0,
+                    capacity=memory.capacity if memory is not None else 0,
+                    snapshot=(
+                        memory.snapshot() if memory is not None else None
+                    ),
+                )
             elif spec.kind == "launch":
                 self._record(spec, op, backend, "simulated launch failure")
                 ctx.telemetry.record_fault(op, backend)

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field, replace
 from . import guardrails
 from .errors import (
     AttemptRecord,
+    DeviceOOMError,
     FallbackExhaustedError,
     InvalidTopologyError,
     KernelLaunchError,
@@ -180,8 +181,18 @@ def run_with_policy(
         )
         return _finish(ctx, result, report, extra_s)
 
+    # OOM degradation ladder state, shared across the whole chain: stage 0
+    # flushes the allocator's segment cache, stage 1 evicts cold residency;
+    # each stage runs at most once per call and refunds the attempt it
+    # interrupted when it reclaimed something. Past both stages, an OOM is
+    # an ordinary retryable fault — retries burn attempts, then the chain
+    # falls back to a lower-footprint backend, then exhausts.
+    oom_stage = 0
+
     for backend_index, backend in enumerate(chain):
-        for attempt_no in range(1, policy.max_attempts + 1):
+        attempt_no = 0
+        while attempt_no < policy.max_attempts:
+            attempt_no += 1
             error: Exception | None = None
             try:
                 if injector is not None:
@@ -203,6 +214,41 @@ def run_with_policy(
                     guardrails.check_finite_result(result, op, backend)
             except KernelLaunchError as exc:
                 error = exc
+            except DeviceOOMError as exc:
+                error = exc
+                freed = 0
+                while oom_stage < 2 and not freed:
+                    if oom_stage == 0:
+                        flush = getattr(ctx, "flush_device_cache", None)
+                        freed = flush() if flush is not None else 0
+                        if span is not None:
+                            span.event(
+                                "oom_flush", backend=backend, bytes_freed=freed
+                            )
+                    else:
+                        evict = getattr(ctx, "evict_device_bytes", None)
+                        freed = (
+                            evict(
+                                max(getattr(exc, "requested", 0), 1),
+                                op,
+                                backend,
+                            )
+                            if evict is not None
+                            else 0
+                        )
+                        if span is not None:
+                            span.event(
+                                "oom_evict",
+                                kind="ladder",
+                                backend=backend,
+                                bytes_freed=freed,
+                            )
+                    oom_stage += 1
+                if freed:
+                    # A ladder stage reclaimed memory: the interrupted
+                    # attempt is refunded rather than burned.
+                    attempt_no -= 1
+                    continue
             except PlanCorruptionError as exc:
                 if exc.key is not None:
                     ctx.plans.evict(exc.key)
@@ -302,8 +348,14 @@ def run_with_policy(
                     span.event(
                         "failure", backend=backend, error=classify(error)
                     )
+                snapshot = None
+                if isinstance(error, DeviceOOMError):
+                    snap = getattr(ctx, "memory_snapshot", None)
+                    snapshot = (
+                        snap() if snap is not None else error.snapshot
+                    )
                 raise FallbackExhaustedError(
-                    op=op, attempts=report.attempts
+                    op=op, attempts=report.attempts, snapshot=snapshot
                 ) from error
 
     raise AssertionError("unreachable: the chain loop always returns/raises")

@@ -560,3 +560,120 @@ class TestTuningFaults:
         # The cache is healthy again after the eviction-and-restore cycle.
         again = ops.spmm_cost(a, 64, context=ctx, selector="tuned")
         assert again.runtime_s == pytest.approx(clean.runtime_s, rel=1e-12)
+
+
+# ----------------------------------------------------------------------
+# OOM fault domain: injected allocation failures and the eviction ladder
+# ----------------------------------------------------------------------
+class TestOomFaults:
+    def _pressure_matrix(self, seed=41, rows=1024, k=448):
+        rng = np.random.default_rng(seed)
+        idx = np.sort(rng.integers(rows, size=(rows, k)), axis=1)
+        keep = np.ones_like(idx, dtype=bool)
+        keep[:, 1:] = idx[:, 1:] != idx[:, :-1]
+        offsets = np.zeros(rows + 1, dtype=np.int64)
+        np.cumsum(keep.sum(axis=1), out=offsets[1:])
+        return CSRMatrix(
+            (rows, rows),
+            offsets,
+            idx[keep].astype(np.int32),
+            rng.standard_normal(int(offsets[-1])).astype(np.float32),
+        )
+
+    def test_injected_oom_schedule_is_seed_deterministic(self, rng):
+        """Same seed, same call sequence -> identical oom fault logs."""
+        a, b = problem(rng)
+
+        def run(seed):
+            ctx = ExecutionContext(V100)
+            injector = FaultInjector(
+                [FaultSpec("oom", op="spmm", backend="sputnik", rate=0.4)],
+                seed=seed,
+            )
+            with injector.attached(ctx):
+                for _ in range(12):
+                    ops.spmm(a, b, context=ctx, backend=CHAIN)
+            return (
+                [(f.index, f.kind, f.op, f.backend) for f in injector.log],
+                ctx.telemetry.oom_events,
+            )
+
+        log_a, ooms_a = run(CHAOS_SEED)
+        log_b, ooms_b = run(CHAOS_SEED)
+        assert log_a == log_b
+        assert ooms_a == ooms_b > 0
+        assert all(kind == "oom" for _, kind, _, _ in log_a)
+
+    def test_ladder_order_flush_then_evict_then_fallback(self, rng):
+        """Three injected allocation failures walk the full ladder in
+        order: cache flush, cold-residency eviction, backend fallback —
+        visible as ordered span events on the dispatch trace."""
+        from repro.obs.tracing import Tracer
+
+        tracer = Tracer(process="test")
+        ctx = ExecutionContext(V100, tracer=tracer)
+        a, b = problem(rng)
+        ops.spmm(a, b, context=ctx)  # make the operand device-resident
+        injector = FaultInjector(
+            [FaultSpec("oom", backend="sputnik", every=1, max_faults=3)],
+            seed=CHAOS_SEED,
+        )
+        chain = FallbackPolicy(("sputnik", "cusparse"), max_attempts=2)
+        with injector.attached(ctx):
+            result = ops.spmm(a, b, context=ctx, backend=chain)
+        report = result.reliability
+        assert report.backend_used == "cusparse"
+        assert report.fallbacks == 1
+
+        events = [
+            ev["name"]
+            for record in tracer.to_jsonl_records()
+            if record.get("type") == "span"
+            for ev in record.get("events") or ()
+        ]
+        assert "oom_flush" in events and "oom_evict" in events
+        assert events.index("oom_flush") < events.index("oom_evict")
+        assert events.index("oom_evict") < events.index("fallback")
+
+    def test_capacity_pressure_falls_back_from_aspt(self):
+        """ASpT's ~3x resident metadata cannot fit a tight cap that the
+        plain CSR backend fits comfortably: the ladder must end in a
+        backend fallback, not an error."""
+        a = self._pressure_matrix()
+        cap = 8 * 1024**2
+        assert 3 * a.memory_bytes() > cap  # aspt alone can never fit
+        assert a.memory_bytes() < cap // 2  # sputnik fits with room
+        ctx = ExecutionContext(V100, memory=cap)
+        chain = FallbackPolicy(("aspt", "sputnik"), max_attempts=2)
+        result = ops.spmm_cost(a, 16, context=ctx, backend=chain)
+        assert result.runtime_s > 0
+        report = ctx.last_dispatch_report
+        assert report.backend_used == "sputnik"
+        assert report.fallbacks == 1
+        assert ctx.telemetry.oom_events > 0
+        assert ctx.memory.peak_reserved_bytes <= cap
+
+    def test_exhausted_oom_chain_carries_allocator_snapshot(self, rng):
+        """When every backend dies of OOM the terminal error must carry
+        the allocator snapshot for diagnosis."""
+        from repro.reliability import DeviceOOMError
+
+        a, b = problem(rng)
+        ctx = ExecutionContext(V100)
+        injector = FaultInjector([FaultSpec("oom", rate=1.0)], seed=CHAOS_SEED)
+        chain = FallbackPolicy(("sputnik", "cusparse"), max_attempts=2)
+        with injector.attached(ctx):
+            with pytest.raises(FallbackExhaustedError) as excinfo:
+                ops.spmm(a, b, context=ctx, backend=chain)
+        err = excinfo.value
+        assert err.snapshot is not None
+        # ctx.memory.capacity, not V100.dram_capacity: REPRO_HBM_CAP may
+        # legitimately shrink the default context (the CI chaos job pins
+        # it to 256M).
+        assert err.snapshot["capacity_bytes"] == ctx.memory.capacity
+        assert any(rec.error == "DeviceOOMError" for rec in err.attempts)
+        assert isinstance(err.__cause__, DeviceOOMError)
+
+    def test_oom_spec_validation(self):
+        with pytest.raises(ValueError, match="site='executor'"):
+            FaultSpec("oom", site="executor")
