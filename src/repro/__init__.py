@@ -26,7 +26,11 @@ evaluation on a software model of a V100-class GPU (see DESIGN.md):
   telemetry. All higher layers call kernels through it;
 - :mod:`repro.reliability` — fault injection, backend fallback chains
   with retry/backoff, a structured error taxonomy, and numerical
-  guardrails (fp16-overflow degraded mode, deep CSR validation).
+  guardrails (fp16-overflow degraded mode, deep CSR validation);
+- :mod:`repro.dist` — multi-GPU sharded execution: cost-balanced row/2-D
+  shard plans, per-device allocators, and an NVLink/PCIe interconnect
+  model charging all-gather/reduce-scatter/all-reduce on the simulated
+  clock.
 
 Quick start::
 
@@ -49,7 +53,7 @@ from .core import (
 )
 from .gpu import GTX1080, V100, DeviceSpec, get_device
 from .sparse import CSRMatrix, sddmm_reference, sparse_softmax_reference, spmm_reference
-from . import ops, reliability, tune
+from . import dist, ops, reliability, tune
 from .ops import ExecutionContext, default_context
 
 __version__ = "1.0.0"
@@ -58,6 +62,7 @@ __all__ = [
     "ops",
     "reliability",
     "tune",
+    "dist",
     "ExecutionContext",
     "default_context",
     "spmm",

@@ -79,6 +79,29 @@ def sputnik_spmm_batched_time(
     return ops.spmm_batched_cost(a, n, h, device, selector=selector)
 
 
+# ----------------------------------------------------------------------
+# Sharded SpMM timer (cost-only): row-sharded across a DeviceGroup, with
+# interconnect collectives priced on the simulated clock. Outputs stay
+# sharded (``gather_output=False``): sweep rows measure the steady-state
+# regime where the next sharded op consumes the row-partitioned result.
+# ----------------------------------------------------------------------
+def sharded_spmm_time(
+    a: CSRMatrix,
+    n: int,
+    group,
+    kernel: str = "sputnik",
+    *,
+    selector: str = "heuristic",
+    strategy: str = "row",
+):
+    from ..dist import sharded_spmm_cost
+
+    return sharded_spmm_cost(
+        a, n, group, strategy=strategy, backend=kernel, selector=selector,
+        gather_output=False,
+    )
+
+
 def dense_spmm_batched_time(
     a: CSRMatrix, n: int, h: int, device: DeviceSpec, *,
     selector: str = "heuristic",
@@ -173,6 +196,10 @@ class BenchRow:
     flops: float
     h: int = 1
     selector: str = "heuristic"
+    #: Simulated device count the row was measured on (1 = unsharded;
+    #: > 1 = row-sharded across a DeviceGroup, runtime_s is the group
+    #: runtime and telemetry carries the comm/imbalance breakdown).
+    devices: int = 1
     status: str = "ok"
     error: str = ""
     wall_s: float = 0.0
@@ -220,9 +247,18 @@ def _oom_failure(exc: Exception) -> bool:
     return False
 
 
+def _group_telemetry_totals(group) -> dict[str, int | float]:
+    """Aggregate counters summed over every context of a DeviceGroup."""
+    totals: dict[str, int | float] = {}
+    for ctx in group.contexts:
+        for key, value in _telemetry_totals(ctx).items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
 def _measure(
     timer, label: str, name: str, matrix: CSRMatrix, dim: int, device,
-    h: int = 1, selector: str = "heuristic",
+    h: int = 1, selector: str = "heuristic", group=None,
 ) -> BenchRow:
     """Run one timer, converting a raised kernel failure into a failed row.
 
@@ -232,7 +268,14 @@ def _measure(
     nominal flop count by the stack depth. ``selector`` picks the config
     selection policy the timer dispatches with (and is recorded in the
     row).
+
+    ``group`` (a :class:`repro.dist.DeviceGroup` with ``k > 1``) measures
+    the row row-sharded across the group instead — ``timer`` is bypassed,
+    ``name`` doubles as the per-device backend, ``runtime_s`` is the
+    group runtime (max compute + exposed comm), and the comm breakdown
+    rides in the telemetry delta.
     """
+    devices = group.k if group is not None else 1
     base = dict(
         problem=label,
         kernel=name,
@@ -243,23 +286,36 @@ def _measure(
         flops=2.0 * matrix.nnz * dim * h,
         h=h,
         selector=selector,
+        devices=devices,
     )
-    ctx = ops.default_context(device)
-    before = _telemetry_totals(ctx)
+    sharded = group is not None and group.k > 1
+    if sharded:
+        before = _group_telemetry_totals(group)
+    else:
+        ctx = ops.default_context(device)
+        before = _telemetry_totals(ctx)
     # Ad-hoc timers (tests, custom suites) predate the selector dimension;
     # only registered timers are guaranteed to accept the keyword, so the
     # default rides on their own default instead of being passed.
     kwargs = {} if selector == "heuristic" else {"selector": selector}
     start = time.perf_counter()
     try:
-        result = (
-            timer(matrix, dim, device, **kwargs)
-            if h == 1
-            else timer(matrix, dim, h, device, **kwargs)
-        )
+        if sharded:
+            result = sharded_spmm_time(
+                matrix, dim, group, kernel=name, selector=selector
+            )
+        else:
+            result = (
+                timer(matrix, dim, device, **kwargs)
+                if h == 1
+                else timer(matrix, dim, h, device, **kwargs)
+            )
     except Exception as exc:  # noqa: BLE001 - the sweep must keep going
         wall_s = time.perf_counter() - start
-        after = _telemetry_totals(ctx)
+        after = (
+            _group_telemetry_totals(group) if sharded
+            else _telemetry_totals(ctx)
+        )
         return BenchRow(
             runtime_s=float("nan"),
             status="oom" if _oom_failure(exc) else "failed",
@@ -269,11 +325,18 @@ def _measure(
             **base,
         )
     wall_s = time.perf_counter() - start
-    after = _telemetry_totals(ctx)
+    after = (
+        _group_telemetry_totals(group) if sharded else _telemetry_totals(ctx)
+    )
+    telemetry = {k: after[k] - before[k] for k in after}
+    if sharded:
+        telemetry["exposed_comm_s"] = result.exposed_comm_s
+        telemetry["interconnect_bound"] = result.interconnect_bound_fraction
+        telemetry["compute_imbalance"] = result.compute_imbalance
     return BenchRow(
         runtime_s=result.runtime_s,
         wall_s=wall_s,
-        telemetry={k: after[k] - before[k] for k in after},
+        telemetry=telemetry,
         **base,
     )
 

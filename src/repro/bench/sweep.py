@@ -52,21 +52,27 @@ class SweepTask:
     n: int
     h: int = 1
     selector: str = "heuristic"
+    #: Simulated device count: ``> 1`` row-shards the measurement across a
+    #: :class:`repro.dist.DeviceGroup` of this size.
+    devices: int = 1
 
     @property
     def row_key(self) -> str:
         """Stable identity used for resume bookkeeping and store keys.
 
-        Unbatched heuristic tasks keep the historical ``spec|kernel|n``
-        form so resume files written before the ``h`` and ``selector``
-        dimensions existed still match; batched tasks append ``|h{h}``
-        and non-heuristic selectors append ``|sel:{selector}``.
+        Unbatched heuristic single-device tasks keep the historical
+        ``spec|kernel|n`` form so resume files written before the ``h``,
+        ``selector``, and ``devices`` dimensions existed still match;
+        batched tasks append ``|h{h}``, non-heuristic selectors append
+        ``|sel:{selector}``, and sharded tasks append ``|d{devices}``.
         """
         key = f"{self.spec.name}|{self.kernel}|{self.n}"
         if self.h != 1:
             key = f"{key}|h{self.h}"
         if self.selector != "heuristic":
             key = f"{key}|sel:{self.selector}"
+        if self.devices != 1:
+            key = f"{key}|d{self.devices}"
         return key
 
 
@@ -106,20 +112,36 @@ def build_tasks(
     n: int | Sequence[int] = 64,
     h: int | Sequence[int] = 1,
     selector: str = "heuristic",
+    devices: int | Sequence[int] = 1,
 ) -> list[SweepTask]:
-    """Expand specs × kernels × batch sizes × stack depths into tasks.
+    """Expand specs × kernels × batch sizes × stack depths × device counts
+    into tasks.
 
     A spec's own ``batch_columns`` (when set) override the sweep-level
     ``n``; unknown kernel names fail fast here rather than inside a worker.
     Stack depths above 1 require the kernel to have a batched timer.
     ``selector`` picks the config-selection policy every task dispatches
     with (validated here so a typo fails before the pool spins up).
+    ``devices`` counts above 1 row-shard the measurement across a
+    :class:`repro.dist.DeviceGroup`; the sharded timer has no batched
+    variant, so ``h > 1`` cannot combine with ``devices > 1``.
     """
     from ..tune import resolve_selector
 
     selector = resolve_selector(selector).name
     stacks = (h,) if isinstance(h, int) else tuple(h)
+    device_counts = (
+        (devices,) if isinstance(devices, int) else tuple(devices)
+    )
+    for k in device_counts:
+        if k < 1:
+            raise ValueError(f"devices must be >= 1, got {k}")
     needs_batched = any(depth > 1 for depth in stacks)
+    if needs_batched and any(k > 1 for k in device_counts):
+        raise ValueError(
+            "h > 1 cannot combine with devices > 1: the sharded timer "
+            "dispatches single-stack SpMM per device"
+        )
     for name in kernels:
         if name not in SPMM_KERNELS:
             raise ValueError(
@@ -137,12 +159,14 @@ def build_tasks(
         for kernel in kernels:
             for cols in spec_batches:
                 for depth in stacks:
-                    tasks.append(
-                        SweepTask(
-                            spec=spec, kernel=kernel, n=int(cols),
-                            h=int(depth), selector=selector,
+                    for k in device_counts:
+                        tasks.append(
+                            SweepTask(
+                                spec=spec, kernel=kernel, n=int(cols),
+                                h=int(depth), selector=selector,
+                                devices=int(k),
+                            )
                         )
-                    )
     return tasks
 
 
@@ -157,6 +181,23 @@ _WORKER_CONTEXTS: dict[tuple, "ops.ExecutionContext"] = {}
 #: Per-process tracing state for traced sweeps: (device, store path) ->
 #: (Tracer, PhaseProfiler). Built lazily on the first traced chunk.
 _WORKER_TRACERS: dict[tuple, tuple] = {}
+
+#: Per-process DeviceGroup cache for sharded tasks:
+#: (device, k, store path) -> DeviceGroup. Groups are long-lived like
+#: worker contexts, so shard plans and per-device plan caches stay warm
+#: across a chunk's tasks.
+_WORKER_GROUPS: dict[tuple, object] = {}
+
+
+def _worker_group(device: DeviceSpec, k: int, store_path: str | None):
+    key = (device, k, store_path)
+    group = _WORKER_GROUPS.get(key)
+    if group is None:
+        from ..dist import DeviceGroup
+
+        group = DeviceGroup(k, device, store=store_path)
+        _WORKER_GROUPS[key] = group
+    return group
 
 
 def _worker_context(
@@ -194,18 +235,22 @@ def reset_worker_state() -> None:
         profiler.stop()
     _WORKER_TRACERS.clear()
     _WORKER_CONTEXTS.clear()
+    _WORKER_GROUPS.clear()
 
 
 def _row_store_key(device: DeviceSpec, task: SweepTask) -> tuple:
-    # h == 1 / heuristic selection keeps the historical 5-tuple so
-    # pre-batching store entries still hit; batched tasks append the stack
-    # depth (int) and non-heuristic selectors the selector name (str) —
-    # the types differ, so the suffixes cannot collide.
+    # h == 1 / heuristic selection / one device keeps the historical
+    # 5-tuple so pre-batching store entries still hit; batched tasks append
+    # the stack depth (int), non-heuristic selectors the selector name
+    # (str), and sharded tasks a ("devices", k) pair — the suffix types
+    # all differ, so they cannot collide.
     key = ("sweep_row", device, repr(task.spec), task.kernel, task.n)
     if task.h != 1:
         key = key + (task.h,)
     if task.selector != "heuristic":
         key = key + (task.selector,)
+    if task.devices != 1:
+        key = key + (("devices", task.devices),)
     return key
 
 
@@ -276,6 +321,11 @@ def _run_chunk(
                 if task.h == 1
                 else SPMM_BATCHED_KERNELS[task.kernel]
             )
+            dgroup = None
+            if task.devices > 1:
+                dgroup = _worker_group(device, task.devices, store_path)
+                if tracer is not None:
+                    dgroup.attach_tracer(tracer)
             if tracer is not None:
                 with tracer.span(
                     "sweep.task",
@@ -285,18 +335,20 @@ def _run_chunk(
                     n=task.n,
                     h=task.h,
                     selector=task.selector,
+                    devices=task.devices,
                 ):
                     row = asdict(
                         _measure(
                             timer, spec.name, task.kernel, matrix, task.n,
                             device, h=task.h, selector=task.selector,
+                            group=dgroup,
                         )
                     )
             else:
                 row = asdict(
                     _measure(
                         timer, spec.name, task.kernel, matrix, task.n, device,
-                        h=task.h, selector=task.selector,
+                        h=task.h, selector=task.selector, group=dgroup,
                     )
                 )
             if store is not None and row["status"] == "ok":
@@ -378,6 +430,7 @@ def run_sweep(
     n: int | Sequence[int] = 64,
     h: int | Sequence[int] = 1,
     selector: str = "heuristic",
+    devices: int | Sequence[int] = 1,
     workers: int = 1,
     chunk_size: int = 8,
     store_path: str | Path | None = None,
@@ -407,8 +460,15 @@ def run_sweep(
       selectors suffix the row key with ``|sel:{selector}``, so tuned and
       heuristic sweeps resume independently from one JSONL, and tuned
       winners persist in the shared plan store for warm re-runs.
+    - ``devices`` adds a multi-GPU sharding dimension: each count above 1
+      times the task through a cached :class:`~repro.dist.DeviceGroup`
+      (row-sharded, outputs left sharded as in a chained pipeline) and
+      suffixes the row key with ``|d{count}``, so sharded and
+      single-device sweeps resume independently from one JSONL.
     """
-    tasks = build_tasks(specs, kernels, n=n, h=h, selector=selector)
+    tasks = build_tasks(
+        specs, kernels, n=n, h=h, selector=selector, devices=devices
+    )
     total = len(tasks)
     out_file = Path(out_path) if out_path is not None else None
     store_str = str(store_path) if store_path is not None else None

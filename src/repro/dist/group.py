@@ -1,0 +1,224 @@
+"""A group of K simulated devices with a shared interconnect.
+
+:class:`DeviceGroup` is the sharded analogue of a single
+:class:`~repro.ops.context.ExecutionContext`: K contexts over the same
+:class:`~repro.gpu.device.DeviceSpec`, each with its **own**
+:class:`~repro.gpu.allocator.DeviceAllocator` (the ROADMAP item-4
+follow-on — per-device HBM caps, eviction, and OOM ladders all apply
+shard-locally; ``REPRO_HBM_CAP`` reads as a *per-device* cap), plus one
+:class:`~repro.gpu.interconnect.InterconnectSpec` pricing the collectives
+between them.
+
+The group also owns shard planning: :meth:`shard_plan` resolves a
+:class:`~repro.dist.partition.ShardPlan` for a topology through the lead
+context's two-tier plan cache (memory LRU -> PlanStore, version 5
+envelopes), and :meth:`shards` materializes the per-device sub-matrices,
+memoized LRU-style because slicing a big CSR is real host work.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..gpu.device import V100, DeviceSpec
+from ..gpu.executor import ExecutionResult, PhaseTimes
+from ..gpu.interconnect import (
+    NVLINK2,
+    CollectiveCost,
+    InterconnectSpec,
+    get_interconnect,
+)
+from ..ops.context import DEFAULT_MAX_PLANS, ExecutionContext
+from ..ops.plans import matrix_fingerprint
+from ..sparse.csr import CSRMatrix
+from .partition import DEFAULT_BUNDLE_SIZE, ShardPlan, plan_shards
+
+#: Per-group LRU capacity for materialized sub-matrix shards.
+MAX_SHARD_SETS = 16
+
+
+def collective_execution(
+    cost: CollectiveCost, spec: InterconnectSpec
+) -> ExecutionResult:
+    """Wrap a priced collective as an :class:`ExecutionResult` so comm time
+    flows through the same telemetry/phase plumbing as kernel launches
+    (all of it attributed to the overhead phase — link time, not SM
+    time)."""
+    return ExecutionResult(
+        name=f"{cost.op}_{spec.kind}_k{cost.k}",
+        runtime_s=cost.seconds,
+        flops=0.0,
+        dram_bytes=float(cost.nbytes),
+        l2_bytes=0.0,
+        smem_bytes=0.0,
+        n_blocks=0,
+        occupancy=None,
+        phases=PhaseTimes(overhead_s=cost.seconds),
+    )
+
+
+class DeviceGroup:
+    """``k`` simulated devices + one interconnect, dispatch-ready.
+
+    ``memory`` follows the ``ExecutionContext`` convention (``None`` =
+    honour ``REPRO_HBM_CAP`` / device DRAM, int = explicit per-device cap
+    in bytes, ``False`` = accounting off) and is applied independently to
+    every device: each context builds its own allocator, never shared.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        device: DeviceSpec = V100,
+        interconnect: InterconnectSpec | str = NVLINK2,
+        *,
+        memory=None,
+        store=None,
+        tracer=None,
+        max_plans: int = DEFAULT_MAX_PLANS,
+    ) -> None:
+        if k < 1:
+            raise ValueError("a device group needs at least one device")
+        self.k = k
+        self.device = device
+        self.interconnect = get_interconnect(interconnect)
+        self.contexts = [
+            ExecutionContext(
+                device,
+                max_plans=max_plans,
+                store=store,
+                tracer=tracer,
+                memory=memory,
+                device_id=i,
+            )
+            for i in range(k)
+        ]
+        self._shard_sets: OrderedDict[tuple, tuple] = OrderedDict()
+
+    @property
+    def lead(self) -> ExecutionContext:
+        """Device 0's context: hosts the ShardPlan cache and comm telemetry."""
+        return self.contexts[0]
+
+    @property
+    def tracer(self):
+        return self.lead.tracer
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DeviceGroup(k={self.k}, device={self.device.name!r}, "
+            f"interconnect={self.interconnect.kind!r})"
+        )
+
+    def __len__(self) -> int:
+        return self.k
+
+    def __iter__(self):
+        return iter(self.contexts)
+
+    # ------------------------------------------------------------------
+    # Shard planning (two-tier cached) and shard materialization
+    # ------------------------------------------------------------------
+    def shard_plan(
+        self,
+        a: CSRMatrix,
+        strategy: str = "row",
+        bundle_size: int = DEFAULT_BUNDLE_SIZE,
+    ) -> ShardPlan:
+        """The (cached) :class:`ShardPlan` for this topology on this group."""
+        key = (
+            "shard_plan",
+            matrix_fingerprint(a),
+            self.k,
+            strategy,
+            bundle_size,
+        )
+        return self.lead._cached(
+            "shard_plan",
+            "dist",
+            key,
+            lambda: plan_shards(a, self.k, strategy, bundle_size),
+        )
+
+    def shards(
+        self,
+        a: CSRMatrix,
+        strategy: str = "row",
+        bundle_size: int = DEFAULT_BUNDLE_SIZE,
+    ) -> tuple[ShardPlan, list[CSRMatrix]]:
+        """The plan plus the materialized per-device sub-matrices.
+
+        For ``strategy="row"`` device ``d`` gets ``a.take_rows(rows_d)``
+        at full width; for ``"2d"`` it gets the ``(rows_i, cols_j)`` tile.
+        ``k == 1`` returns the original matrix untouched (no copy, no
+        fingerprint churn) so single-device sharding is exactly the
+        unsharded dispatch.
+        """
+        plan = self.shard_plan(a, strategy, bundle_size)
+        if self.k == 1:
+            return plan, [a]
+        key = (matrix_fingerprint(a), self.k, plan.strategy, bundle_size)
+        hit = self._shard_sets.get(key)
+        if hit is not None:
+            self._shard_sets.move_to_end(key)
+            return plan, hit[1]
+        subs = []
+        for d in range(self.k):
+            rows, (lo, hi) = plan.device_tile(d)
+            sub = a.take_rows(rows)
+            if (lo, hi) != (0, a.shape[1]):
+                sub = sub.take_cols(lo, hi)
+            subs.append(sub)
+        self._shard_sets[key] = (plan, subs)
+        while len(self._shard_sets) > MAX_SHARD_SETS:
+            self._shard_sets.popitem(last=False)
+        return plan, subs
+
+    # ------------------------------------------------------------------
+    # Communication + rollups
+    # ------------------------------------------------------------------
+    def charge_collective(self, cost: CollectiveCost, span=None) -> None:
+        """Account one collective: lead-context telemetry (op = collective
+        name, backend = interconnect kind) and an optional span event."""
+        if cost.seconds == 0.0 and cost.steps == 0:
+            return
+        execution = collective_execution(cost, self.interconnect)
+        self.lead.telemetry.record_launch(
+            cost.op, self.interconnect.kind, execution
+        )
+        if span is not None:
+            span.event("collective", **cost.as_dict())
+
+    def telemetry_snapshot(self) -> dict:
+        """Per-(op, backend) counters summed over every device context."""
+        merged: dict = {}
+        for ctx in self.contexts:
+            for key, row in ctx.telemetry_snapshot().items():
+                if key not in merged:
+                    merged[key] = dict(row)
+                else:
+                    out = merged[key]
+                    for field_name, value in row.items():
+                        out[field_name] = out.get(field_name, 0) + value
+        return merged
+
+    def memory_snapshots(self) -> list[dict | None]:
+        """Per-device allocator snapshots (``None`` = accounting off)."""
+        return [ctx.memory_snapshot() for ctx in self.contexts]
+
+    def emit_memory_spans(self) -> None:
+        """One ``category="memory"`` span per device (device_id-stamped)."""
+        for ctx in self.contexts:
+            ctx.emit_memory_span()
+
+    def attach_tracer(self, tracer) -> None:
+        for ctx in self.contexts:
+            ctx.attach_tracer(tracer)
+
+    def attach_store(self, store) -> None:
+        for ctx in self.contexts:
+            ctx.attach_store(store)
+
+    def reset_telemetry(self) -> None:
+        for ctx in self.contexts:
+            ctx.reset_telemetry()

@@ -28,6 +28,18 @@ from .memory import (
     sectors_for_contiguous,
     validate_vector_width,
 )
+from .interconnect import (
+    INTERCONNECTS,
+    NVLINK2,
+    PCIE3,
+    CollectiveCost,
+    InterconnectSpec,
+    all_gather,
+    all_reduce,
+    broadcast,
+    get_interconnect,
+    reduce_scatter,
+)
 from .occupancy import BlockResources, Occupancy, compute_occupancy
 from .scheduler import (
     ScheduleResult,
@@ -47,6 +59,7 @@ from .allocator import (  # noqa: E402
     aligned_nbytes,
     capacity_from_env,
     estimate_nbytes,
+    format_capacity,
     parse_capacity,
 )
 
@@ -86,4 +99,15 @@ __all__ = [
     "capacity_from_env",
     "estimate_nbytes",
     "parse_capacity",
+    "format_capacity",
+    "InterconnectSpec",
+    "CollectiveCost",
+    "NVLINK2",
+    "PCIE3",
+    "INTERCONNECTS",
+    "get_interconnect",
+    "all_gather",
+    "reduce_scatter",
+    "all_reduce",
+    "broadcast",
 ]

@@ -74,18 +74,45 @@ _UNITS = {
 
 
 def parse_capacity(text: str) -> int | None:
-    """Parse a human capacity string (``"4G"``, ``"512M"``, ``"1073741824"``).
+    """Parse a human capacity string (``"4G"``, ``"512m"``, ``"1073741824"``).
 
-    Returns ``None`` for ``"off"`` / ``"none"`` / ``""`` (accounting
-    disabled). Raises ``ValueError`` for anything unintelligible.
+    Unit suffixes are case-insensitive (``4G`` == ``4g``; ``KB``/``KiB``
+    style spellings both mean powers of 1024). Returns ``None`` for
+    ``"off"`` / ``"none"`` / ``""`` (accounting disabled). Raises
+    ``ValueError`` for anything unintelligible or negative — a negative
+    capacity is always a configuration mistake, not a request for zero.
     """
     raw = text.strip().lower()
     if raw in ("", "off", "none", "unlimited"):
         return None
+    value: int | None = None
     for suffix, factor in sorted(_UNITS.items(), key=lambda kv: -len(kv[0])):
         if raw.endswith(suffix):
-            return int(float(raw[: -len(suffix)]) * factor)
-    return int(raw)
+            value = int(float(raw[: -len(suffix)]) * factor)
+            break
+    if value is None:
+        value = int(raw)
+    if value < 0:
+        raise ValueError(f"capacity must be non-negative, got {text!r}")
+    return value
+
+
+def format_capacity(nbytes: int | None) -> str:
+    """Render a capacity the way :func:`parse_capacity` reads it.
+
+    Picks the largest power-of-1024 unit that divides ``nbytes`` exactly, so
+    ``parse_capacity(format_capacity(x)) == x`` for every valid capacity
+    (``None`` round-trips through ``"off"``).
+    """
+    if nbytes is None:
+        return "off"
+    if nbytes < 0:
+        raise ValueError(f"capacity must be non-negative, got {nbytes}")
+    for suffix, factor in (("T", 1024**4), ("G", 1024**3),
+                           ("M", 1024**2), ("K", 1024)):
+        if nbytes and nbytes % factor == 0:
+            return f"{nbytes // factor}{suffix}"
+    return str(nbytes)
 
 
 def capacity_from_env(default: int) -> int | None:

@@ -5,6 +5,14 @@ The Table III benchmark costs the full-size model analytically
 realistic-but-smaller sizes: multi-head attention (dense causal or masked
 sparse), residual connections, layer norm, and the two-matmul FFN — every
 matrix multiply routed through the simulated kernels and profiled.
+
+:meth:`TransformerLayer.forward_sharded` runs the same layer
+model-parallel across a :class:`~repro.dist.DeviceGroup` (Megatron-style
+tensor parallelism): attention heads and FFN hidden units split across
+devices — column-parallel first projections, row-parallel second
+projections — with exactly two all-reduces per layer priced on the
+group's interconnect. The complementary *data*-parallel axis (replicas
+over independent problems) is the sweep runner's ``devices=`` dimension.
 """
 
 from __future__ import annotations
@@ -70,6 +78,10 @@ class TransformerLayer:
         self.w_o = init(d_model, d_model)
         self.w_ffn_in = init(d_ffn, d_model)
         self.w_ffn_out = init(d_model, d_ffn)
+        self.d_ffn = d_ffn
+        #: Filled by :meth:`forward_sharded`: the last call's model-parallel
+        #: timing breakdown (per-stage max compute, comm, bound fraction).
+        self.last_shard_report: dict | None = None
 
     def _project(
         self, w: np.ndarray, x: np.ndarray, device: DeviceSpec, profile
@@ -123,6 +135,155 @@ class TransformerLayer:
         x = x + self._project(self.w_ffn_out, hidden, device, profile)
         return x
 
+    def forward_sharded(
+        self,
+        x: np.ndarray,
+        group,
+        profile: Profile | None = None,
+    ) -> np.ndarray:
+        """Model-parallel forward across a :class:`~repro.dist.DeviceGroup`.
+
+        Megatron-style tensor parallelism: device ``d`` owns heads
+        ``[d·H/k, (d+1)·H/k)`` — a column-parallel slice of the QKV
+        projections plus its own batched attention over those heads — and
+        ``d_ffn/k`` FFN hidden units. The output projections are
+        row-parallel (each device contributes a partial ``(seq, d_model)``
+        sum), so the whole layer costs exactly two all-reduces on the
+        group's interconnect: one after attention, one after the FFN.
+        Per-head attention is independent, so the result matches
+        :meth:`forward` up to accumulation order (``allclose``; the
+        partial-sum reductions reorder float adds — bit-identical when
+        ``group.k == 1``).
+
+        Timing: stages run concurrently across devices, so compute counts
+        as the per-stage max over devices; both all-reduces gate the
+        residual adds and are fully exposed. The breakdown lands in
+        :attr:`last_shard_report`. ``profile`` (if given) receives every
+        per-device kernel plus both collectives — its serial ``runtime_s``
+        is total *device-seconds*, not the model-parallel wall clock.
+        """
+        from ..dist.group import collective_execution
+        from ..dist.sharded import _dist_span
+        from ..gpu.interconnect import all_reduce
+
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 2 or x.shape[1] != self.d_model:
+            raise ValueError(f"expected (seq, {self.d_model}), got {x.shape}")
+        if self.mask is not None and self.mask.n_rows != x.shape[0]:
+            raise ValueError("attention mask must be seq x seq")
+        k = group.k
+        if self.n_heads % k:
+            raise ValueError("n_heads must divide evenly across the group")
+        if self.d_ffn % k:
+            raise ValueError("d_ffn must divide evenly across the group")
+        heads_per = self.n_heads // k
+        width = heads_per * self.head_dim
+        ffn_per = self.d_ffn // k
+        seq = x.shape[0]
+
+        def run(w, inp, ctx, bucket, d):
+            result = ops.matmul(w, inp.T.copy(), context=ctx)
+            if profile is not None:
+                profile.add(result.execution)
+            bucket[d] += result.execution.runtime_s
+            return result.output.T
+
+        with _dist_span(group, "transformer_layer_sharded") as span:
+            attn_stage = [0.0] * k
+            h = layer_norm(x)
+            attn_out = np.zeros((seq, self.d_model), dtype=np.float32)
+            for d, ctx in enumerate(group.contexts):
+                lo, hi = d * width, (d + 1) * width
+                q = run(self.w_q[lo:hi], h, ctx, attn_stage, d)
+                key = run(self.w_k[lo:hi], h, ctx, attn_stage, d)
+                v = run(self.w_v[lo:hi], h, ctx, attn_stage, d)
+                q, key, v = (
+                    np.ascontiguousarray(
+                        t.reshape(seq, heads_per, self.head_dim)
+                        .transpose(1, 0, 2)
+                    )
+                    for t in (q, key, v)
+                )
+                # The batched attention helpers resolve the implicit
+                # default context, so install this device's for the call.
+                attn_profile = Profile()
+                prev = ops.default_context(group.device)
+                ops.set_default_context(ctx)
+                try:
+                    if self.mask is None:
+                        att = dense_attention_batched(
+                            q, key, v, group.device, attn_profile
+                        )
+                    else:
+                        att = sparse_attention_batched(
+                            q, key, v, self.mask, group.device, attn_profile,
+                            selector=self.selector,
+                        )
+                finally:
+                    ops.set_default_context(prev)
+                attn_stage[d] += attn_profile.runtime_s
+                if profile is not None:
+                    for record in attn_profile.records:
+                        profile.add(record)
+                attended = np.ascontiguousarray(
+                    att.transpose(1, 0, 2)
+                ).reshape(seq, width)
+                attn_out += run(self.w_o[:, lo:hi], attended, ctx, attn_stage, d)
+            ar_bytes = seq * self.d_model * 4
+            ar1 = all_reduce(group.interconnect, ar_bytes, k)
+            group.charge_collective(ar1, span)
+            x = x + attn_out
+
+            ffn_stage = [0.0] * k
+            h = layer_norm(x)
+            ffn_out = np.zeros((seq, self.d_model), dtype=np.float32)
+            for d, ctx in enumerate(group.contexts):
+                lo, hi = d * ffn_per, (d + 1) * ffn_per
+                hidden = np.maximum(
+                    run(self.w_ffn_in[lo:hi], h, ctx, ffn_stage, d), 0
+                )
+                ffn_out += run(self.w_ffn_out[:, lo:hi], hidden, ctx, ffn_stage, d)
+            ar2 = all_reduce(group.interconnect, ar_bytes, k)
+            group.charge_collective(ar2, span)
+            x = x + ffn_out
+
+            if profile is not None:
+                for cost in (ar1, ar2):
+                    if cost.steps:
+                        profile.add(
+                            collective_execution(cost, group.interconnect)
+                        )
+            comm_s = ar1.seconds + ar2.seconds
+            compute_s = max(attn_stage) + max(ffn_stage)
+            runtime = compute_s + comm_s
+            self.last_shard_report = {
+                "k": k,
+                "interconnect": group.interconnect.name,
+                "attention_max_compute_s": max(attn_stage),
+                "ffn_max_compute_s": max(ffn_stage),
+                "compute_s": compute_s,
+                "device_seconds": sum(attn_stage) + sum(ffn_stage),
+                "comm_s": comm_s,
+                "comm_bytes": (ar1.nbytes + ar2.nbytes) if ar1.steps else 0,
+                "runtime_s": runtime,
+                "interconnect_bound_fraction": (
+                    comm_s / runtime if runtime > 0 else 0.0
+                ),
+                "per_device_compute_s": [
+                    a + f for a, f in zip(attn_stage, ffn_stage)
+                ],
+            }
+            span.set(
+                runtime_s=runtime,
+                interconnect_bound=(
+                    self.last_shard_report["interconnect_bound_fraction"]
+                ),
+            )
+            # Per-device op spans already carry their compute; the layer
+            # span adds only the comm critical path it introduces.
+            span.add_sim(comm_s)
+        return x
+
 
 class TransformerStack:
     """A stack of layers sharing one attention mask (Section VII-C1: the
@@ -147,6 +308,7 @@ class TransformerStack:
             )
             for i in range(n_layers)
         ]
+        self.last_shard_report: dict | None = None
 
     def forward(
         self,
@@ -156,4 +318,34 @@ class TransformerStack:
     ) -> np.ndarray:
         for layer in self.layers:
             x = layer.forward(x, device, profile)
+        return x
+
+    def forward_sharded(
+        self,
+        x: np.ndarray,
+        group,
+        profile: Profile | None = None,
+    ) -> np.ndarray:
+        """Model-parallel forward of the whole stack; sums the per-layer
+        :attr:`TransformerLayer.last_shard_report` breakdowns into
+        :attr:`last_shard_report`."""
+        for layer in self.layers:
+            x = layer.forward_sharded(x, group, profile)
+        reports = [layer.last_shard_report for layer in self.layers]
+        total = {
+            key: sum(r[key] for r in reports)
+            for key in (
+                "compute_s", "device_seconds", "comm_s", "comm_bytes",
+                "runtime_s",
+            )
+        }
+        total["k"] = group.k
+        total["interconnect"] = group.interconnect.name
+        total["n_layers"] = len(self.layers)
+        total["interconnect_bound_fraction"] = (
+            total["comm_s"] / total["runtime_s"]
+            if total["runtime_s"] > 0
+            else 0.0
+        )
+        self.last_shard_report = total
         return x

@@ -10,7 +10,9 @@ write_jsonl` (and appended to by sweep workers) and prints:
 - a memory-pressure section (peak/high-water HBM, fragmentation,
   OOM/flush/eviction counts per op) rebuilt from ``oom``/``oom_flush``/
   ``oom_evict`` span events and ``category="memory"`` summary spans
-  (see :meth:`repro.ops.context.ExecutionContext.emit_memory_span`).
+  (see :meth:`repro.ops.context.ExecutionContext.emit_memory_span`);
+- a per-device rollup for multi-device (sharded) traces, keyed on the
+  ``device_id`` the sharded dispatch stamps on op and memory spans.
 
 ``--json`` emits the same content as one JSON object for scripting (the
 CI ``obs-smoke`` job archives it next to the trace).
@@ -134,6 +136,59 @@ def rollup_memory(records: Iterable[dict]) -> dict[str, Any] | None:
     return out
 
 
+def rollup_devices(records: Iterable[dict]) -> dict[int, dict[str, Any]] | None:
+    """Per-device rollup of a multi-device (sharded) trace, or None when
+    no span carries a ``device_id``.
+
+    Sharded dispatch stamps every op span and ``category="memory"``
+    summary span with the owning device's id (launch records carry no
+    device attribution, so the rollup keys on spans): per device it sums
+    simulated op time, breaks it down by op name, counts OOM/eviction
+    events, and keeps the peak reserved HBM from that device's memory
+    summary span.
+    """
+    out: dict[int, dict[str, Any]] = {}
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        args = record.get("args") or {}
+        device_id = args.get("device_id")
+        if device_id is None:
+            continue
+        entry = out.setdefault(
+            int(device_id),
+            {
+                "spans": 0,
+                "sim_s": 0.0,
+                "by_op": {},
+                "oom_events": 0,
+                "evictions": 0,
+                "peak_reserved_bytes": 0.0,
+            },
+        )
+        if record.get("cat") == "memory":
+            entry["peak_reserved_bytes"] = max(
+                entry["peak_reserved_bytes"],
+                float(args.get("peak_reserved_bytes", 0) or 0),
+            )
+            continue
+        entry["spans"] += 1
+        sim_s = float(record.get("sim_s", 0.0))
+        entry["sim_s"] += sim_s
+        op = entry["by_op"].setdefault(
+            str(record.get("name", "?")), {"count": 0, "sim_s": 0.0}
+        )
+        op["count"] += 1
+        op["sim_s"] += sim_s
+        for ev in record.get("events") or ():
+            ev_name = ev.get("name")
+            if ev_name == "oom":
+                entry["oom_events"] += 1
+            elif ev_name == "oom_evict":
+                entry["evictions"] += 1
+    return out or None
+
+
 def _roofline(kernels: dict[str, dict[str, Any]]) -> list[dict[str, Any]]:
     """Roofline points per kernel against each record's own device roofs."""
     from ..gpu.device import get_device
@@ -188,6 +243,7 @@ def build_report(records: list[dict], top: int = 10) -> dict[str, Any]:
         "kernels": kernels,
         "roofline": _roofline(kernels),
         "memory": rollup_memory(records),
+        "devices": rollup_devices(records),
         "top_spans": [
             {
                 "name": r.get("name"),
@@ -294,6 +350,31 @@ def format_report(report: dict[str, Any]) -> str:
                     f"  {op[:24]:24s} {entry['oom']:6d} "
                     f"{entry['evictions']:10d}"
                 )
+    devices = report.get("devices")
+    if devices:
+        lines += [
+            "",
+            "per-device rollup:",
+            f"  {'device':>6s} {'spans':>7s} {'sim':>10s} {'oom':>5s} "
+            f"{'evict':>6s} {'peak rsvd':>10s}  top ops",
+        ]
+        for device_id, entry in sorted(devices.items(), key=lambda kv: int(kv[0])):
+            top_ops = sorted(
+                entry["by_op"].items(),
+                key=lambda kv: kv[1]["sim_s"],
+                reverse=True,
+            )[:3]
+            ops_text = ", ".join(
+                f"{name} {op['sim_s'] * 1e6:.1f}us x{op['count']}"
+                for name, op in top_ops
+            )
+            peak = float(entry["peak_reserved_bytes"])
+            peak_text = f"{peak / 2**20:8.1f}MiB" if peak else f"{'-':>10s}"
+            lines.append(
+                f"  {device_id!s:>6s} {entry['spans']:7d} "
+                f"{entry['sim_s'] * 1e6:8.1f}us {entry['oom_events']:5d} "
+                f"{entry['evictions']:6d} {peak_text}  {ops_text}"
+            )
     if report["top_spans"]:
         lines += ["", "top spans by wall time:"]
         for span in report["top_spans"]:

@@ -460,8 +460,14 @@ class ExecutionContext:
         store: PlanStore | str | Path | None = None,
         tracer=None,
         memory: DeviceAllocator | int | bool | None = None,
+        device_id: int | None = None,
     ) -> None:
         self.device = device
+        #: Position of this context inside a :class:`~repro.dist.DeviceGroup`
+        #: (``None`` for standalone single-device contexts). Stamped onto op
+        #: and memory spans so multi-device traces can be rolled up
+        #: per device by the report CLI.
+        self.device_id = device_id
         self.plans = PlanCache(max_plans)
         self.telemetry = Telemetry()
         #: Optional disk-backed :class:`~repro.ops.store.PlanStore` consulted
@@ -766,6 +772,8 @@ class ExecutionContext:
         attrs = {
             k: v for k, v in snap.items() if not isinstance(v, dict)
         }
+        if self.device_id is not None:
+            attrs["device_id"] = self.device_id
         with self.tracer.span("memory_summary", category="memory", **attrs):
             pass
 

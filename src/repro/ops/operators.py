@@ -104,9 +104,10 @@ def _op_span(ctx: ExecutionContext, op: str, backend):
         if isinstance(backend, str)
         else "/".join(as_policy(backend).backends)
     )
-    return tracer.span(
-        op, category="op", backend=requested, device=ctx.device.name
-    )
+    attrs = {"backend": requested, "device": ctx.device.name}
+    if ctx.device_id is not None:
+        attrs["device_id"] = ctx.device_id
+    return tracer.span(op, category="op", **attrs)
 
 
 def _policy_dispatch(
@@ -169,6 +170,23 @@ def _policy_dispatch(
     return result
 
 
+def _shard_route(shard, context, device, config):
+    """Validate the ``shard=`` kwarg (a :class:`repro.dist.DeviceGroup`).
+
+    Sharded dispatch runs through the group's own per-device contexts, so
+    an explicit ``context``/``device``/``config`` would be silently
+    ignored — reject the combination instead.
+    """
+    if shard is None:
+        return False
+    if context is not None or device is not None or config is not None:
+        raise ValueError(
+            "shard= routes dispatch through the DeviceGroup's own "
+            "contexts; do not also pass context/device/config"
+        )
+    return True
+
+
 def spmm(
     a: CSRMatrix,
     b: np.ndarray,
@@ -179,8 +197,23 @@ def spmm(
     backend="sputnik",
     selector: str = "heuristic",
     validate: bool = False,
+    shard=None,
+    shard_strategy: str = "row",
 ) -> KernelResult:
-    """``C = A @ B`` with sparse ``A``: exact numerics + simulated cost."""
+    """``C = A @ B`` with sparse ``A``: exact numerics + simulated cost.
+
+    ``shard=`` (a :class:`repro.dist.DeviceGroup`) dispatches row- or
+    2-D-sharded (``shard_strategy``) across the group's K devices with
+    interconnect-priced collectives; the returned result's ``execution``
+    is the group summary and ``result.sharded`` the full breakdown.
+    """
+    if _shard_route(shard, context, device, config):
+        from ..dist import sharded_spmm
+
+        return sharded_spmm(
+            a, b, shard, strategy=shard_strategy,
+            backend=backend, selector=selector,
+        )
     ctx = resolve_context(context, device)
     with _op_span(ctx, "spmm", backend) as span:
         if _fast_path(ctx, backend, validate):
@@ -224,9 +257,22 @@ def spmm_cost(
     backend="sputnik",
     selector: str = "heuristic",
     validate: bool = False,
+    shard=None,
+    shard_strategy: str = "row",
     **kwargs,
 ) -> ExecutionResult:
-    """Simulated SpMM cost only (``n`` = dense batch columns)."""
+    """Simulated SpMM cost only (``n`` = dense batch columns).
+
+    With ``shard=`` (a :class:`repro.dist.DeviceGroup`) returns the
+    :class:`repro.dist.ShardedExecution` for the group instead.
+    """
+    if _shard_route(shard, context, device, config):
+        from ..dist import sharded_spmm_cost
+
+        return sharded_spmm_cost(
+            a, n, shard, strategy=shard_strategy,
+            backend=backend, selector=selector,
+        )
     ctx = resolve_context(context, device)
     with _op_span(ctx, "spmm", backend) as span:
         if _fast_path(ctx, backend, validate):
@@ -262,8 +308,19 @@ def sddmm(
     backend="sputnik",
     selector: str = "heuristic",
     validate: bool = False,
+    shard=None,
 ) -> KernelResult:
-    """``(lhs @ rhs^T) ∘ I[mask]``: exact numerics + simulated cost."""
+    """``(lhs @ rhs^T) ∘ I[mask]``: exact numerics + simulated cost.
+
+    ``shard=`` (a :class:`repro.dist.DeviceGroup`) row-shards the mask
+    across the group's K devices (see :func:`repro.dist.sharded_sddmm`).
+    """
+    if _shard_route(shard, context, device, config):
+        from ..dist import sharded_sddmm
+
+        return sharded_sddmm(
+            lhs, rhs, mask, shard, backend=backend, selector=selector
+        )
     ctx = resolve_context(context, device)
     with _op_span(ctx, "sddmm", backend) as span:
         if _fast_path(ctx, backend, validate):
@@ -306,8 +363,21 @@ def sddmm_cost(
     backend="sputnik",
     selector: str = "heuristic",
     validate: bool = False,
+    shard=None,
+    shard_strategy: str = "row",
 ) -> ExecutionResult:
-    """Simulated SDDMM cost only (``k`` = dot-product inner dimension)."""
+    """Simulated SDDMM cost only (``k`` = dot-product inner dimension).
+
+    With ``shard=`` (a :class:`repro.dist.DeviceGroup`) returns the
+    :class:`repro.dist.ShardedExecution` for the group instead.
+    """
+    if _shard_route(shard, context, device, config):
+        from ..dist import sharded_sddmm_cost
+
+        return sharded_sddmm_cost(
+            mask, k, shard, strategy=shard_strategy,
+            backend=backend, selector=selector,
+        )
     ctx = resolve_context(context, device)
     with _op_span(ctx, "sddmm", backend) as span:
         if _fast_path(ctx, backend, validate):

@@ -50,7 +50,11 @@ from typing import Any, Callable
 #: (config + search stats) under selector-qualified config keys — v3
 #: pickles of bare configs would miss the search metadata readers now
 #: unwrap.
-PLAN_STORE_VERSION = 4
+#: v5: multi-GPU sharding persists ``repro.dist.ShardPlan`` envelopes
+#: (per-device row assignments, column ranges, and load accounting) under
+#: ``("shard_plan", ...)`` keys — older stores know nothing of the key
+#: family and must not serve stale entries to the sharded dispatch path.
+PLAN_STORE_VERSION = 5
 
 #: Magic tag identifying a plan-store envelope.
 _MAGIC = "repro-plan-store"

@@ -261,6 +261,63 @@ class CSRMatrix:
             self.shape, self.row_offsets, self.column_indices, values
         )
 
+    def take_rows(self, rows: np.ndarray) -> "CSRMatrix":
+        """Gather a row subset (in the given order) into a new CSR matrix.
+
+        The sharding layer uses this to materialize per-device row shards:
+        each selected row's nonzeros are copied intact, so per-row kernel
+        semantics (accumulation order included) are unchanged. Fully
+        vectorized — O(nnz selected), no per-row python loop.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.ndim != 1:
+            raise ValueError("take_rows expects a 1-D row index array")
+        if rows.size and (
+            int(rows.min()) < 0 or int(rows.max()) >= self.shape[0]
+        ):
+            raise ValueError("row index out of range")
+        lengths = self.row_lengths[rows]
+        new_offsets = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=new_offsets[1:])
+        total = int(new_offsets[-1])
+        starts = self.row_offsets[rows]
+        # Position of each gathered nonzero inside the source arrays:
+        # arange over the destination, rebased per row to the source start.
+        dest = np.arange(total, dtype=np.int64)
+        src = dest - np.repeat(new_offsets[:-1], lengths) + np.repeat(
+            starts, lengths
+        )
+        return CSRMatrix(
+            (rows.size, self.shape[1]),
+            new_offsets,
+            self.column_indices[src],
+            self.values[src],
+        )
+
+    def take_cols(self, lo: int, hi: int) -> "CSRMatrix":
+        """Slice the column range ``[lo, hi)`` into a new CSR matrix.
+
+        Column indices are rebased to the slice, so the result is a valid
+        ``(rows, hi - lo)`` matrix — the 2-D sharding layer pairs this with
+        :meth:`take_rows` to cut per-device tiles.
+        """
+        if not (0 <= lo <= hi <= self.shape[1]):
+            raise ValueError(
+                f"column range [{lo}, {hi}) outside [0, {self.shape[1]})"
+            )
+        keep = (self.column_indices >= lo) & (self.column_indices < hi)
+        rows = np.repeat(np.arange(self.shape[0]), self.row_lengths)[keep]
+        new_offsets = np.zeros(self.shape[0] + 1, dtype=np.int64)
+        np.add.at(new_offsets[1:], rows, 1)
+        np.cumsum(new_offsets, out=new_offsets)
+        idt = self.column_indices.dtype
+        return CSRMatrix(
+            (self.shape[0], hi - lo),
+            new_offsets,
+            (self.column_indices[keep] - lo).astype(idt),
+            self.values[keep],
+        )
+
     # ------------------------------------------------------------------
     # Properties
     # ------------------------------------------------------------------

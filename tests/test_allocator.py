@@ -21,6 +21,7 @@ from repro.gpu.allocator import (
     aligned_nbytes,
     capacity_from_env,
     estimate_nbytes,
+    format_capacity,
     parse_capacity,
 )
 from repro.gpu.device import GTX1080
@@ -74,6 +75,40 @@ class TestParseCapacity:
     def test_garbage_rejected(self):
         with pytest.raises(ValueError):
             parse_capacity("lots")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            parse_capacity("-4G")
+
+    @pytest.mark.parametrize(
+        "text", ["4g", "4gib", "512m", "2k", "1t", "16MIB"]
+    )
+    def test_lowercase_suffixes(self, text):
+        assert parse_capacity(text) == parse_capacity(text.upper())
+
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [
+            (None, "off"),
+            (0, "0"),
+            (4 * 1024**3, "4G"),
+            (512 * MiB, "512M"),
+            (2048, "2K"),
+            (1536, "1536"),  # not a whole unit multiple: plain bytes
+        ],
+    )
+    def test_format_capacity(self, nbytes, expected):
+        assert format_capacity(nbytes) == expected
+
+    @pytest.mark.parametrize(
+        "nbytes",
+        [0, 1, 1023, 1024, 1536, 8 * MiB, 3 * 1024**3, 7 * 1024**4 + 512],
+    )
+    def test_format_parse_round_trip(self, nbytes):
+        assert parse_capacity(format_capacity(nbytes)) == nbytes
+
+    def test_format_parse_round_trip_off(self):
+        assert parse_capacity(format_capacity(None)) is None
 
     def test_env_unset_returns_default(self, monkeypatch):
         monkeypatch.delenv(CAP_ENV_VAR, raising=False)
