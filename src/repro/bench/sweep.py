@@ -304,6 +304,45 @@ def _run_chunk(
 
     rows: list[dict] = []
     from_store = 0
+    try:
+        from_store = _measure_chunk(
+            by_spec, rows, device, store, store_path, tracer
+        )
+    except Exception as exc:
+        # _measure converts expected failures into failed rows, so anything
+        # escaping here is a genuine worker crash: ship the postmortem
+        # window before the pool swallows the process. The JSONL artifact
+        # (REPRO_FLIGHT_DIR) is the durable record — instance attributes do
+        # not survive the pool's exception pickling, but attach() still
+        # serves the in-process (workers <= 1) path.
+        if ctx.flight is not None:
+            ctx.flight.record("worker_crash", "sweep", error=type(exc).__name__)
+            ctx.flight.attach(exc, "sweep_worker_crash")
+        raise
+
+    store_after = store.stats.as_dict() if store is not None else {}
+    deltas = {
+        "from_store": from_store,
+        "cache_hits": ctx.telemetry.cache_hits - hits0,
+        "cache_misses": ctx.telemetry.cache_misses - misses0,
+        "store": {
+            k: store_after[k] - store_before[k] for k in store_after
+        },
+    }
+    if tracer is not None:
+        deltas["trace"] = (
+            [tracer.meta_record()]
+            + [span.to_record() for span in tracer.spans[spans0:]]
+            + tracer.launches[launches0:]
+        )
+    return rows, deltas
+
+
+def _measure_chunk(
+    by_spec, rows, device, store, store_path, tracer
+) -> int:
+    """The measurement loop of one chunk; returns the from-store count."""
+    from_store = 0
     for spec, group in by_spec.items():
         matrix = None
         for task in group:
@@ -355,23 +394,7 @@ def _run_chunk(
                 store.save(_row_store_key(device, task), dict(row))
             row["row_key"] = task.row_key
             rows.append(row)
-
-    store_after = store.stats.as_dict() if store is not None else {}
-    deltas = {
-        "from_store": from_store,
-        "cache_hits": ctx.telemetry.cache_hits - hits0,
-        "cache_misses": ctx.telemetry.cache_misses - misses0,
-        "store": {
-            k: store_after[k] - store_before[k] for k in store_after
-        },
-    }
-    if tracer is not None:
-        deltas["trace"] = (
-            [tracer.meta_record()]
-            + [span.to_record() for span in tracer.spans[spans0:]]
-            + tracer.launches[launches0:]
-        )
-    return rows, deltas
+    return from_store
 
 
 # ----------------------------------------------------------------------

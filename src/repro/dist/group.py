@@ -211,6 +211,44 @@ class DeviceGroup:
         for ctx in self.contexts:
             ctx.emit_memory_span()
 
+    def flight_records(self, reason: str = "dump") -> list[dict]:
+        """The merged postmortem window: every device's flight-recorder
+        ring rendered as trace-schema records (one meta per device; span
+        args are ``device_id``-stamped, so the report CLI's per-device
+        rollup applies). Empty when recording is disabled."""
+        records: list[dict] = []
+        for ctx in self.contexts:
+            if ctx.flight is not None:
+                records.extend(ctx.flight.to_records(reason=reason))
+        return records
+
+    def dump_flight(self, path, reason: str = "dump"):
+        """Write the merged per-device window as one JSONL artifact."""
+        import json
+        from pathlib import Path
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as fh:
+            for record in self.flight_records(reason=reason):
+                fh.write(json.dumps(record) + "\n")
+        return path
+
+    @property
+    def metrics(self):
+        """Lazily-built registry over *every* device context, with
+        ``device_id``-labeled samples (see
+        :func:`repro.obs.metrics.bind_group_metrics`)."""
+        if getattr(self, "_metrics", None) is None:
+            from ..obs.metrics import MetricsRegistry, bind_group_metrics
+
+            self._metrics = bind_group_metrics(MetricsRegistry(), self)
+        return self._metrics
+
+    def metrics_snapshot(self) -> dict:
+        """Snapshot of the group-bound metrics registry."""
+        return self.metrics.snapshot()
+
     def attach_tracer(self, tracer) -> None:
         for ctx in self.contexts:
             ctx.attach_tracer(tracer)

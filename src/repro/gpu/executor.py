@@ -190,6 +190,20 @@ class PhaseTimes:
 
         return replace(self, overhead_s=self.overhead_s + seconds)
 
+    def bottleneck(self) -> str:
+        """Coarse classification of where this launch's time went:
+        ``"compute"`` (FMA/issue), ``"memory"`` (l1 + l2 + dram data
+        paths), or ``"overhead"`` (imbalance + launch cost) — whichever
+        bucket dominates. Ties break toward memory, then compute: on a
+        roofline, a balanced kernel is the memory-bound regime's edge."""
+        memory = self.l1_s + self.l2_s + self.dram_s
+        other = self.imbalance_s + self.overhead_s
+        if memory >= self.compute_s and memory >= other:
+            return "memory"
+        if self.compute_s >= other:
+            return "compute"
+        return "overhead"
+
 
 @dataclass
 class ExecutionResult:

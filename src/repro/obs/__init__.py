@@ -1,6 +1,6 @@
-"""Observability: tracing, metrics, and kernel-phase profiling.
+"""Observability: tracing, metrics, profiling, and continuous operation.
 
-Three cooperating pieces (DESIGN.md Section 11):
+Cooperating pieces (DESIGN.md Sections 11 and 16):
 
 - :mod:`repro.obs.tracing` — hierarchical spans over wall *and* simulated
   device time, exported as JSONL streams or Chrome-trace JSON;
@@ -9,12 +9,31 @@ Three cooperating pieces (DESIGN.md Section 11):
   pull-mode collectors, keeping ``telemetry_snapshot()`` as a shim;
 - :mod:`repro.obs.profiler` — per-launch phase attribution
   (compute/L1/L2/DRAM/imbalance/overhead) and roofline points, hooked into
-  the executor's completion observers.
+  the executor's completion observers;
+- :mod:`repro.obs.flight` — the always-on bounded flight recorder every
+  execution context carries; terminal faults dump their last-N-events
+  window as a trace-schema JSONL artifact;
+- :mod:`repro.obs.export` — Prometheus text exposition / JSON snapshots
+  over a metrics registry (``python -m repro.obs.export``);
+- :mod:`repro.obs.regress` — the perf-regression gate over BENCH_*.json
+  headline metrics (``python -m repro.obs.regress --check``).
 
-``python -m repro.obs.report trace.jsonl`` summarizes a captured trace.
+``python -m repro.obs.report trace.jsonl`` summarizes a captured trace
+(``--diff old new`` compares two).
 """
 
 from ..gpu.executor import PHASE_NAMES, PhaseTimes
+from .export import (
+    render_json,
+    render_prometheus,
+    validate_prometheus_text,
+)
+from .flight import (
+    DEFAULT_CAPACITY,
+    FlightRecorder,
+    flight_capacity_from_env,
+    flight_from_env,
+)
 from .metrics import (
     SIM_SECONDS_BUCKETS,
     Counter,
@@ -22,10 +41,17 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     bind_context_metrics,
+    bind_group_metrics,
     bind_telemetry,
 )
 from .profiler import KernelStats, LaunchRecord, PhaseProfiler
-from .report import build_report, format_report
+from .report import (
+    build_report,
+    classify_phases,
+    diff_traces,
+    format_diff,
+    format_report,
+)
 from .tracing import (
     NO_SPAN,
     TRACE_SCHEMA_VERSION,
@@ -34,6 +60,7 @@ from .tracing import (
     chrome_trace_from_records,
     read_jsonl,
     validate_chrome_trace,
+    validate_trace_records,
 )
 
 __all__ = [
@@ -44,6 +71,7 @@ __all__ = [
     "read_jsonl",
     "chrome_trace_from_records",
     "validate_chrome_trace",
+    "validate_trace_records",
     "MetricsRegistry",
     "Counter",
     "Gauge",
@@ -51,6 +79,7 @@ __all__ = [
     "SIM_SECONDS_BUCKETS",
     "bind_telemetry",
     "bind_context_metrics",
+    "bind_group_metrics",
     "PhaseProfiler",
     "LaunchRecord",
     "KernelStats",
@@ -58,4 +87,14 @@ __all__ = [
     "PHASE_NAMES",
     "build_report",
     "format_report",
+    "classify_phases",
+    "diff_traces",
+    "format_diff",
+    "FlightRecorder",
+    "DEFAULT_CAPACITY",
+    "flight_capacity_from_env",
+    "flight_from_env",
+    "render_prometheus",
+    "render_json",
+    "validate_prometheus_text",
 ]

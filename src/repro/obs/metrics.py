@@ -290,23 +290,52 @@ class MetricsRegistry:
 # Execution-context binding (the Telemetry compatibility shim)
 # ----------------------------------------------------------------------
 def bind_telemetry(
-    registry: MetricsRegistry, telemetry, prefix: str = "op"
+    registry: MetricsRegistry,
+    telemetry,
+    prefix: str = "op",
+    extra_labels: dict[str, str] | None = None,
 ) -> MetricsRegistry:
     """Expose a Telemetry's per-(op, backend) counters as labeled samples.
 
     Pull-mode: the live ``OpStats`` stay the write store (zero hot-path
     cost) and every ``snapshot()`` re-labels them as ``{prefix}_<counter>``
-    samples with ``op=...,backend=...`` labels.
+    samples with ``op=...,backend=...`` labels. Config-selection rows
+    (``*_config`` ops, whose backend field carries the selector name) get
+    an explicit ``selector`` label on top, so scrape queries can slice
+    tuning traffic without knowing that encoding. ``extra_labels`` (e.g.
+    ``{"device_id": "2"}`` for a :class:`~repro.dist.DeviceGroup` member)
+    are appended to every sample, keeping multi-context registries
+    collision-free.
     """
+    extra = dict(extra_labels or {})
 
     def collect() -> Iterable[Sample]:
         for (op, backend), stats in sorted(telemetry.stats.items()):
             labels = {"op": op, "backend": backend}
+            if op.endswith("_config"):
+                labels["selector"] = backend
+            labels.update(extra)
             for key, value in stats.as_dict().items():
                 yield (f"{prefix}_{key}", labels, value)
 
     registry.register_collector(collect)
     return registry
+
+
+class _HistogramView:
+    """A histogram handle with trailing label values pinned (e.g. the
+    ``device_id`` of a group member): ``labels(op, backend)`` resolves the
+    child for ``(op, backend, *pinned)`` on the underlying histogram, so
+    ``Telemetry.record_launch`` needs no label plumbing of its own."""
+
+    __slots__ = ("_histogram", "_pinned")
+
+    def __init__(self, histogram, pinned: tuple[str, ...]) -> None:
+        self._histogram = histogram
+        self._pinned = tuple(pinned)
+
+    def labels(self, *values):
+        return self._histogram.labels(*values, *self._pinned)
 
 
 def bind_context_metrics(registry: MetricsRegistry, ctx) -> MetricsRegistry:
@@ -319,11 +348,19 @@ def bind_context_metrics(registry: MetricsRegistry, ctx) -> MetricsRegistry:
       HBM capacity;
     - a pushed ``sim_launch_seconds`` histogram fed by
       ``Telemetry.record_launch`` from now on.
+
+    A context with a ``device_id`` (a :class:`~repro.dist.DeviceGroup`
+    member) stamps ``device_id`` onto every sample — including the
+    histogram, which is then declared with ``(op, backend, device_id)``
+    label names — so K contexts bound into one registry stay disjoint.
     """
-    bind_telemetry(registry, ctx.telemetry)
+    extra: dict[str, str] = {}
+    if getattr(ctx, "device_id", None) is not None:
+        extra["device_id"] = str(ctx.device_id)
+    bind_telemetry(registry, ctx.telemetry, extra_labels=extra or None)
 
     def collect_context() -> Iterable[Sample]:
-        device = {"device": ctx.device.name}
+        device = {"device": ctx.device.name, **extra}
         yield ("plan_cache_entries", device, float(len(ctx.plans)))
         if ctx.store is not None:
             for key, value in ctx.store.stats.as_dict().items():
@@ -374,10 +411,40 @@ def bind_context_metrics(registry: MetricsRegistry, ctx) -> MetricsRegistry:
             )
 
     registry.register_collector(collect_context)
+    labelnames = ("op", "backend") + (("device_id",) if extra else ())
     histogram = registry.histogram(
         "sim_launch_seconds",
         "Simulated runtime of dispatched launches",
-        labelnames=("op", "backend"),
+        labelnames=labelnames,
     )
-    ctx.telemetry.attach_histogram(histogram)
+    if extra:
+        ctx.telemetry.attach_histogram(
+            _HistogramView(histogram, (extra["device_id"],))
+        )
+    else:
+        ctx.telemetry.attach_histogram(histogram)
+    return registry
+
+
+def bind_group_metrics(registry: MetricsRegistry, group) -> MetricsRegistry:
+    """Wire every device context of a :class:`~repro.dist.DeviceGroup`
+    into one registry.
+
+    Each member context binds through :func:`bind_context_metrics`, so all
+    of its samples (telemetry counters, HBM gauges, the launch histogram)
+    carry its ``device_id`` label; a group-level collector adds the device
+    count labeled by interconnect kind. One scrape of the returned registry
+    is the whole group.
+    """
+    for ctx in group.contexts:
+        bind_context_metrics(registry, ctx)
+
+    def collect_group() -> Iterable[Sample]:
+        yield (
+            "group_devices",
+            {"interconnect": group.interconnect.kind},
+            float(group.k),
+        )
+
+    registry.register_collector(collect_group)
     return registry

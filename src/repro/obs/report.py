@@ -23,11 +23,44 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Any, Iterable
 
-from .tracing import TRACE_SCHEMA_VERSION, read_jsonl
+from .tracing import TRACE_SCHEMA_VERSION, validate_trace_records
 
 PHASE_KEYS = ("compute", "l1", "l2", "dram", "imbalance", "overhead")
+
+#: A trace (or device) whose exposed-communication share reaches this
+#: fraction of critical-path time is called interconnect-bound outright.
+INTERCONNECT_BOUND_THRESHOLD = 0.5
+
+
+def classify_phases(
+    phases: dict[str, float], interconnect_fraction: float = 0.0
+) -> str:
+    """Bottleneck class for a phase-attribution dict: ``"interconnect"``
+    when the exposed-comm share reaches
+    :data:`INTERCONNECT_BOUND_THRESHOLD`, else ``"memory"`` /
+    ``"compute"`` / ``"overhead"`` by dominant bucket (the same grouping
+    as :meth:`repro.gpu.executor.PhaseTimes.bottleneck`: l1+l2+dram vs
+    compute vs imbalance+overhead, ties toward memory)."""
+    if interconnect_fraction >= INTERCONNECT_BOUND_THRESHOLD:
+        return "interconnect"
+    compute = float(phases.get("compute", 0.0))
+    memory = (
+        float(phases.get("l1", 0.0))
+        + float(phases.get("l2", 0.0))
+        + float(phases.get("dram", 0.0))
+    )
+    other = (
+        float(phases.get("imbalance", 0.0))
+        + float(phases.get("overhead", 0.0))
+    )
+    if memory >= compute and memory >= other:
+        return "memory"
+    if compute >= other:
+        return "compute"
+    return "overhead"
 
 
 def rollup_spans(records: Iterable[dict]) -> dict[str, dict[str, float]]:
@@ -189,6 +222,41 @@ def rollup_devices(records: Iterable[dict]) -> dict[int, dict[str, Any]] | None:
     return out or None
 
 
+def rollup_dist(records: Iterable[dict]) -> dict[str, Any] | None:
+    """Interconnect exposure from ``category="dist"`` wrapper spans, or
+    ``None`` for single-device traces.
+
+    Each sharded dispatch span carries ``exposed_comm_s`` (critical-path
+    communication not hidden behind compute) and ``interconnect_bound``
+    (that span's exposed-comm fraction). The trace-level fraction is
+    rebuilt from totals: per-span critical-path time is recovered as
+    ``exposed / fraction`` where the fraction is nonzero, so the aggregate
+    is time-weighted rather than a mean of per-call ratios.
+    """
+    spans = 0
+    exposed = 0.0
+    critical = 0.0
+    for record in records:
+        if record.get("type") != "span" or record.get("cat") != "dist":
+            continue
+        args = record.get("args") or {}
+        spans += 1
+        span_exposed = float(args.get("exposed_comm_s", 0.0) or 0.0)
+        fraction = float(args.get("interconnect_bound", 0.0) or 0.0)
+        exposed += span_exposed
+        if fraction > 0:
+            critical += span_exposed / fraction
+    if spans == 0:
+        return None
+    return {
+        "spans": spans,
+        "exposed_comm_s": exposed,
+        "interconnect_bound_fraction": (
+            exposed / critical if critical > 0 else 0.0
+        ),
+    }
+
+
 def _roofline(kernels: dict[str, dict[str, Any]]) -> list[dict[str, Any]]:
     """Roofline points per kernel against each record's own device roofs."""
     from ..gpu.device import get_device
@@ -230,6 +298,24 @@ def build_report(records: list[dict], top: int = 10) -> dict[str, Any]:
     meta = next((r for r in records if r.get("type") == "meta"), {})
     spans = [r for r in records if r.get("type") == "span"]
     kernels = rollup_launches(records)
+    dist = rollup_dist(records)
+    interconnect_fraction = (
+        dist["interconnect_bound_fraction"] if dist else 0.0
+    )
+    phase_totals = {key: 0.0 for key in PHASE_KEYS}
+    for entry in kernels.values():
+        entry["bound"] = classify_phases(entry["phases_s"])
+        for key in PHASE_KEYS:
+            phase_totals[key] += entry["phases_s"][key]
+    devices = rollup_devices(records)
+    if devices:
+        # Launch records carry no device attribution, so per-device
+        # classification reuses the trace-level interconnect fraction and
+        # global phase totals — an approximation that is exact for the
+        # homogeneous shard plans the dist layer produces.
+        device_bound = classify_phases(phase_totals, interconnect_fraction)
+        for entry in devices.values():
+            entry["bound"] = device_bound
     top_spans = sorted(
         spans, key=lambda r: float(r.get("dur", 0.0)), reverse=True
     )[:top]
@@ -243,7 +329,9 @@ def build_report(records: list[dict], top: int = 10) -> dict[str, Any]:
         "kernels": kernels,
         "roofline": _roofline(kernels),
         "memory": rollup_memory(records),
-        "devices": rollup_devices(records),
+        "devices": devices,
+        "dist": dist,
+        "bottleneck": classify_phases(phase_totals, interconnect_fraction),
         "top_spans": [
             {
                 "name": r.get("name"),
@@ -280,7 +368,7 @@ def format_report(report: dict[str, Any]) -> str:
             "kernel phases (share of simulated time):",
             f"  {'kernel':28s} {'launches':>8s} {'sim':>10s} "
             f"{'compute':>8s} {'l1':>6s} {'l2':>6s} {'dram':>6s} "
-            f"{'imbal':>6s} {'ovh':>6s}",
+            f"{'imbal':>6s} {'ovh':>6s}  bound",
         ]
         for name, entry in sorted(report["kernels"].items()):
             total = entry["runtime_s"] or 1.0
@@ -291,6 +379,7 @@ def format_report(report: dict[str, Any]) -> str:
                 f"{p['compute'] / total:7.1%} {p['l1'] / total:5.1%} "
                 f"{p['l2'] / total:5.1%} {p['dram'] / total:5.1%} "
                 f"{p['imbalance'] / total:5.1%} {p['overhead'] / total:5.1%}"
+                f"  {entry.get('bound', '?')}"
             )
     if report["roofline"]:
         lines += ["", "roofline:"]
@@ -350,13 +439,24 @@ def format_report(report: dict[str, Any]) -> str:
                     f"  {op[:24]:24s} {entry['oom']:6d} "
                     f"{entry['evictions']:10d}"
                 )
+    dist = report.get("dist")
+    if dist:
+        lines += [
+            "",
+            "interconnect:",
+            f"  dist spans: {dist['spans']}  exposed comm: "
+            f"{dist['exposed_comm_s'] * 1e6:.1f}us  "
+            f"bound fraction: {dist['interconnect_bound_fraction']:.1%}",
+        ]
+    if report.get("bottleneck"):
+        lines += ["", f"trace bottleneck: {report['bottleneck']}"]
     devices = report.get("devices")
     if devices:
         lines += [
             "",
             "per-device rollup:",
             f"  {'device':>6s} {'spans':>7s} {'sim':>10s} {'oom':>5s} "
-            f"{'evict':>6s} {'peak rsvd':>10s}  top ops",
+            f"{'evict':>6s} {'peak rsvd':>10s} {'bound':>7s}  top ops",
         ]
         for device_id, entry in sorted(devices.items(), key=lambda kv: int(kv[0])):
             top_ops = sorted(
@@ -373,7 +473,8 @@ def format_report(report: dict[str, Any]) -> str:
             lines.append(
                 f"  {device_id!s:>6s} {entry['spans']:7d} "
                 f"{entry['sim_s'] * 1e6:8.1f}us {entry['oom_events']:5d} "
-                f"{entry['evictions']:6d} {peak_text}  {ops_text}"
+                f"{entry['evictions']:6d} {peak_text} "
+                f"{entry.get('bound', '?'):>7s}  {ops_text}"
             )
     if report["top_spans"]:
         lines += ["", "top spans by wall time:"]
@@ -386,12 +487,138 @@ def format_report(report: dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def diff_traces(
+    old: list[dict], new: list[dict], top: int = 20
+) -> dict[str, Any]:
+    """Per-op simulated-time deltas between two traces.
+
+    Spans are grouped by ``(cat, name)``; each group's count and summed
+    ``sim_s`` are compared and rows are ordered by absolute time delta,
+    so the op that moved the most comes first.
+    """
+
+    def _group(records: list[dict]) -> dict[tuple, dict[str, float]]:
+        out: dict[tuple, dict[str, float]] = {}
+        for record in records:
+            if record.get("type") != "span":
+                continue
+            key = (str(record.get("cat", "span")), str(record.get("name", "?")))
+            entry = out.setdefault(key, {"count": 0, "sim_s": 0.0})
+            entry["count"] += 1
+            entry["sim_s"] += float(record.get("sim_s", 0.0))
+        return out
+
+    before = _group(old)
+    after = _group(new)
+    rows: list[dict[str, Any]] = []
+    for key in sorted(set(before) | set(after)):
+        b = before.get(key, {"count": 0, "sim_s": 0.0})
+        a = after.get(key, {"count": 0, "sim_s": 0.0})
+        delta = a["sim_s"] - b["sim_s"]
+        rows.append(
+            {
+                "cat": key[0],
+                "name": key[1],
+                "old_count": int(b["count"]),
+                "new_count": int(a["count"]),
+                "old_sim_s": b["sim_s"],
+                "new_sim_s": a["sim_s"],
+                "delta_sim_s": delta,
+                "delta_fraction": (
+                    delta / b["sim_s"] if b["sim_s"] > 0 else None
+                ),
+            }
+        )
+    rows.sort(key=lambda r: abs(r["delta_sim_s"]), reverse=True)
+    total_old = sum(r["old_sim_s"] for r in rows)
+    total_new = sum(r["new_sim_s"] for r in rows)
+    return {
+        "total_old_sim_s": total_old,
+        "total_new_sim_s": total_new,
+        "total_delta_sim_s": total_new - total_old,
+        "rows": rows[:top],
+    }
+
+
+def format_diff(diff: dict[str, Any]) -> str:
+    lines = [
+        f"total sim: {diff['total_old_sim_s'] * 1e6:.1f}us -> "
+        f"{diff['total_new_sim_s'] * 1e6:.1f}us "
+        f"({diff['total_delta_sim_s'] * 1e6:+.1f}us)",
+        f"  {'op':36s} {'count':>11s} {'old sim':>10s} {'new sim':>10s} "
+        f"{'delta':>10s} {'rel':>8s}",
+    ]
+    for row in diff["rows"]:
+        label = f"{row['name']} [{row['cat']}]"
+        counts = f"{row['old_count']}->{row['new_count']}"
+        rel = (
+            "-"
+            if row["delta_fraction"] is None
+            else f"{row['delta_fraction']:+.1%}"
+        )
+        lines.append(
+            f"  {label[:36]:36s} {counts:>11s} "
+            f"{row['old_sim_s'] * 1e6:8.1f}us {row['new_sim_s'] * 1e6:8.1f}us "
+            f"{row['delta_sim_s'] * 1e6:+8.1f}us {rel:>8s}"
+        )
+    return "\n".join(lines)
+
+
+def _load_trace(path: str) -> tuple[list[dict] | None, str | None]:
+    """Strictly load + validate one trace; ``(records, None)`` or
+    ``(None, error)``.
+
+    A single undecodable line at the very end is tolerated (the truncated
+    tail of an interrupted stream); bad lines anywhere else, schema
+    violations, and empty files are errors — the report CLI is the
+    gatekeeper CI relies on, so it must not quietly summarize garbage.
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        return None, f"cannot read {path}: {exc}"
+    records: list[dict] = []
+    raw_lines = [
+        (i, line.strip())
+        for i, line in enumerate(text.splitlines(), start=1)
+        if line.strip()
+    ]
+    for position, (lineno, line) in enumerate(raw_lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if position == len(raw_lines) - 1:
+                continue  # truncated tail of an interrupted stream
+            return None, f"{path}:{lineno}: undecodable JSONL line"
+        if not isinstance(record, dict):
+            return None, f"{path}:{lineno}: record is not an object"
+        records.append(record)
+    if not records:
+        return None, f"no trace records found in {path}"
+    problems = validate_trace_records(records)
+    if problems:
+        detail = "; ".join(problems[:5])
+        if len(problems) > 5:
+            detail += f"; ... ({len(problems) - 5} more)"
+        return None, f"{path}: invalid trace: {detail}"
+    return records, None
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
-        description="Summarize a repro trace JSONL file.",
+        description=(
+            "Summarize a repro trace JSONL file, or diff two of them. "
+            "Exits nonzero on unreadable or schema-invalid traces."
+        ),
     )
-    parser.add_argument("trace", help="path to a trace .jsonl file")
+    parser.add_argument(
+        "trace", nargs="?", help="path to a trace .jsonl file"
+    )
+    parser.add_argument(
+        "--diff", nargs=2, metavar=("OLD", "NEW"),
+        help="compare two traces: per-op simulated-time deltas",
+    )
     parser.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
@@ -399,13 +626,28 @@ def main(argv: list[str] | None = None) -> int:
         "--top", type=int, default=10, help="number of top spans to show"
     )
     args = parser.parse_args(argv)
-    try:
-        records = read_jsonl(args.trace)
-    except OSError as exc:
-        print(f"cannot read {args.trace}: {exc}", file=sys.stderr)
-        return 1
-    if not records:
-        print(f"no trace records found in {args.trace}", file=sys.stderr)
+
+    if args.diff:
+        old, error = _load_trace(args.diff[0])
+        if error:
+            print(error, file=sys.stderr)
+            return 1
+        new, error = _load_trace(args.diff[1])
+        if error:
+            print(error, file=sys.stderr)
+            return 1
+        diff = diff_traces(old, new, top=max(args.top, 20))
+        if args.json:
+            print(json.dumps(diff, indent=2))
+        else:
+            print(format_diff(diff))
+        return 0
+
+    if not args.trace:
+        parser.error("a trace file (or --diff OLD NEW) is required")
+    records, error = _load_trace(args.trace)
+    if error:
+        print(error, file=sys.stderr)
         return 1
     report = build_report(records, top=args.top)
     if args.json:

@@ -310,6 +310,77 @@ def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
     return records
 
 
+def validate_trace_records(records: Iterable[dict]) -> list[str]:
+    """Check JSONL trace records against the schema; returns problems.
+
+    An empty list means the stream is valid: every record is a dict whose
+    ``type`` is one of :data:`RECORD_TYPES`, at least one ``meta`` record
+    declares a supported ``schema`` version, spans carry numeric
+    ``ts``/``dur``/``sim_s`` (``dur`` non-negative) plus ``name``/``pid``/
+    ``tid``, and launches carry a ``name`` and a non-negative numeric
+    ``runtime_s``. Flight-recorder dumps and report-CLI inputs are both
+    validated through this.
+    """
+    problems: list[str] = []
+    saw_meta = False
+    for i, record in enumerate(records):
+        if not isinstance(record, dict):
+            problems.append(f"record {i} is not a dict")
+            continue
+        rtype = record.get("type")
+        if rtype not in RECORD_TYPES:
+            problems.append(f"record {i}: unknown type {rtype!r}")
+            continue
+        if rtype == "meta":
+            saw_meta = True
+            schema = record.get("schema")
+            if schema != TRACE_SCHEMA_VERSION:
+                problems.append(
+                    f"record {i}: meta schema {schema!r} != "
+                    f"{TRACE_SCHEMA_VERSION}"
+                )
+        elif rtype == "span":
+            name = record.get("name")
+            if not isinstance(name, str) or not name:
+                problems.append(f"record {i}: span needs a non-empty name")
+                name = "?"
+            for key in ("pid", "tid"):
+                if not isinstance(record.get(key), int):
+                    problems.append(
+                        f"record {i} ({name}): {key} must be an int"
+                    )
+            for key in ("ts", "dur", "sim_s"):
+                value = record.get(key)
+                if not isinstance(value, (int, float)) or value != value:
+                    problems.append(
+                        f"record {i} ({name}): {key} must be numeric"
+                    )
+                elif key != "ts" and value < 0:
+                    problems.append(
+                        f"record {i} ({name}): {key}={value} negative"
+                    )
+            events = record.get("events", [])
+            if not isinstance(events, list):
+                problems.append(f"record {i} ({name}): events must be a list")
+        else:  # launch
+            name = record.get("name")
+            if not isinstance(name, str) or not name:
+                problems.append(f"record {i}: launch needs a non-empty name")
+                name = "?"
+            runtime = record.get("runtime_s")
+            if not isinstance(runtime, (int, float)) or runtime != runtime:
+                problems.append(
+                    f"record {i} ({name}): runtime_s must be numeric"
+                )
+            elif runtime < 0:
+                problems.append(
+                    f"record {i} ({name}): runtime_s={runtime} negative"
+                )
+    if not saw_meta:
+        problems.append("no meta record declares a schema version")
+    return problems
+
+
 def chrome_trace_from_records(records: Iterable[dict]) -> dict[str, Any]:
     """Build a ``chrome://tracing`` JSON object from trace records.
 

@@ -51,6 +51,7 @@ from ..gpu.allocator import (
 )
 from ..gpu.device import V100, DeviceSpec
 from ..gpu.executor import ExecutionResult
+from ..obs.flight import FlightRecorder, flight_from_env
 from ..reliability.errors import DeviceOOMError
 from ..sparse.csc import CSCMatrix
 from ..sparse.csr import CSRMatrix
@@ -142,6 +143,9 @@ class Telemetry:
     #: Optional :class:`~repro.obs.metrics.Histogram` labeled (op, backend)
     #: fed one observation per recorded launch.
     sim_histogram: object | None = field(default=None, repr=False)
+    #: Optional :class:`~repro.obs.flight.FlightRecorder` fed one ring event
+    #: per recorded launch (the always-on postmortem window).
+    flight: object | None = field(default=None, repr=False)
 
     def _get(self, op: str, backend: str) -> OpStats:
         return self.stats.setdefault((op, backend), OpStats())
@@ -151,6 +155,11 @@ class Telemetry:
         histogram from now on (``None`` detaches)."""
         self.sim_histogram = histogram
 
+    def attach_flight(self, flight) -> None:
+        """Feed recorded launches into a flight recorder from now on
+        (``None`` detaches)."""
+        self.flight = flight
+
     def record_launch(
         self, op: str, backend: str, execution: ExecutionResult
     ) -> None:
@@ -159,6 +168,8 @@ class Telemetry:
         entry.simulated_seconds += execution.runtime_s
         if self.sim_histogram is not None:
             self.sim_histogram.labels(op, backend).observe(execution.runtime_s)
+        if self.flight is not None:
+            self.flight.record_launch(op, backend, execution)
 
     def record_cache(self, op: str, backend: str, hit: bool) -> None:
         entry = self._get(op, backend)
@@ -451,6 +462,14 @@ class ExecutionContext:
     - an ``int``: a fresh allocator with that capacity in bytes;
     - a :class:`DeviceAllocator`: used as-is (shared accounting);
     - ``False``: accounting disabled (``ctx.memory is None``).
+
+    ``flight`` controls the always-on postmortem ring buffer:
+
+    - ``None`` (default): a fresh :class:`FlightRecorder` honouring the
+      ``REPRO_FLIGHT`` capacity/kill-switch environment override;
+    - an ``int``: a fresh recorder with that ring capacity;
+    - a :class:`FlightRecorder`: used as-is (shared window);
+    - ``False``: recording disabled (``ctx.flight is None``).
     """
 
     def __init__(
@@ -461,6 +480,7 @@ class ExecutionContext:
         tracer=None,
         memory: DeviceAllocator | int | bool | None = None,
         device_id: int | None = None,
+        flight: FlightRecorder | int | bool | None = None,
     ) -> None:
         self.device = device
         #: Position of this context inside a :class:`~repro.dist.DeviceGroup`
@@ -500,6 +520,21 @@ class ExecutionContext:
             self.memory = memory
         else:
             self.memory = DeviceAllocator(device, int(memory))
+        #: The always-on flight recorder (``None`` = recording off). Fed a
+        #: ring event per launch via the telemetry hook and a fault event
+        #: per OOM/reclaim step; dumped and attached to terminal errors.
+        if flight is False:
+            self.flight = None
+        elif isinstance(flight, FlightRecorder):
+            self.flight = flight
+        else:
+            # True and None both mean "the env-configured default ring".
+            self.flight = flight_from_env(
+                None if flight is None or flight is True else int(flight),
+                process=f"flight:{device.name}",
+                device_id=device_id,
+            )
+        self.telemetry.attach_flight(self.flight)
         #: LRU of device-resident sparse operands, keyed by
         #: (structure checksum, representation class).
         self._resident: OrderedDict[tuple, Allocation] = OrderedDict()
@@ -622,11 +657,20 @@ class ExecutionContext:
         while True:
             try:
                 return mem.allocate(nbytes, tag)
-            except DeviceOOMError:
+            except DeviceOOMError as exc:
                 self.telemetry.record_oom(op, backend)
                 span = self._current_span()
                 if span is not None:
                     span.event(
+                        "oom",
+                        op=op,
+                        backend=backend,
+                        requested=int(nbytes),
+                        tag=tag,
+                    )
+                if self.flight is not None:
+                    self.flight.record(
+                        "oom",
                         "oom",
                         op=op,
                         backend=backend,
@@ -638,9 +682,18 @@ class ExecutionContext:
                     freed = mem.flush_cache()
                     if span is not None:
                         span.event("oom_flush", bytes_freed=freed)
+                    if self.flight is not None:
+                        self.flight.record(
+                            "oom_flush", "oom_flush", bytes_freed=freed
+                        )
                     if freed:
                         continue
                 if not self._evict_one(op, backend, protect=protect):
+                    # Reclaim is exhausted: this OOM is terminal for the
+                    # allocator (the dispatch policy may still fall back to
+                    # a smaller backend) — ship the postmortem window on it.
+                    if self.flight is not None:
+                        self.flight.attach(exc, "oom")
                     raise
                 # Eviction frees blocks into the cache; release any
                 # now-empty segments so a fresh reservation can fit.
@@ -664,6 +717,10 @@ class ExecutionContext:
             span = self._current_span()
             if span is not None:
                 span.event("oom_evict", kind="tensor", bytes=alloc.nbytes)
+            if self.flight is not None:
+                self.flight.record(
+                    "oom_evict", "oom_evict", kind="tensor", bytes=alloc.nbytes
+                )
             return alloc.nbytes
         for key in self.plans.keys():
             if key == protect or key not in self._plan_allocs:
@@ -680,6 +737,10 @@ class ExecutionContext:
             span = self._current_span()
             if span is not None:
                 span.event("oom_evict", kind="plan", bytes=nbytes)
+            if self.flight is not None:
+                self.flight.record(
+                    "oom_evict", "oom_evict", kind="plan", bytes=nbytes
+                )
             return nbytes
         return 0
 
@@ -800,6 +861,12 @@ class ExecutionContext:
     def attach_tracer(self, tracer) -> None:
         """Attach (or detach, with ``None``) a tracer to this context."""
         self.tracer = tracer
+
+    def attach_flight(self, flight) -> None:
+        """Attach (or detach, with ``None``) a flight recorder, keeping the
+        telemetry's launch-event feed pointed at the same window."""
+        self.flight = flight
+        self.telemetry.attach_flight(flight)
 
     @property
     def metrics(self):

@@ -25,6 +25,14 @@ class ReliabilityError(RuntimeError):
     #: override; policies consult this instead of isinstance chains.
     retryable = False
 
+    #: Postmortem window attached by the flight recorder when a terminal
+    #: error escapes (see :meth:`repro.obs.flight.FlightRecorder.attach`):
+    #: ``flight_records`` is the last-N-events window as trace-schema JSONL
+    #: records, ``flight_dump`` the artifact path when ``REPRO_FLIGHT_DIR``
+    #: is configured. ``None`` on errors raised with recording disabled.
+    flight_records = None
+    flight_dump = None
+
 
 class KernelLaunchError(ReliabilityError):
     """A kernel launch failed transiently (the CUDA-land analogue is

@@ -165,9 +165,12 @@ def run_with_policy(
     check_operands = policy.validate or injector is not None
     extra_s = 0.0
     # Reliability events land on whatever dispatch span is currently open
-    # (the operator wrappers open one per call when a tracer is attached).
+    # (the operator wrappers open one per call when a tracer is attached),
+    # and in the context's always-on flight recorder so a later postmortem
+    # window shows the retries/fallbacks that preceded the failure.
     tracer = getattr(ctx, "tracer", None)
     span = tracer.current if tracer is not None else None
+    flight = getattr(ctx, "flight", None)
 
     def succeed(backend, attempt_no, result, outcome="ok", error=""):
         report.backend_used = backend
@@ -203,6 +206,13 @@ def run_with_policy(
                         if span is not None:
                             span.event(
                                 "injected_latency",
+                                backend=backend,
+                                seconds=stall,
+                            )
+                        if flight is not None:
+                            flight.record(
+                                "injected_latency",
+                                op,
                                 backend=backend,
                                 seconds=stall,
                             )
@@ -269,6 +279,11 @@ def run_with_policy(
                         span.event(
                             "failure", backend=backend, error=classify(exc)
                         )
+                    if flight is not None:
+                        flight.record(
+                            "failure", op, backend=backend, error=classify(exc)
+                        )
+                        flight.attach(exc, "failure")
                     raise
                 error = exc
             except NumericalError as exc:
@@ -286,6 +301,10 @@ def run_with_policy(
                         span.event(
                             "degraded", backend=backend, error=classify(exc)
                         )
+                    if flight is not None:
+                        flight.record(
+                            "degraded", op, backend=backend, error=classify(exc)
+                        )
                     return succeed(
                         backend, attempt_no, result, "degraded", classify(exc)
                     )
@@ -298,6 +317,11 @@ def run_with_policy(
                     span.event(
                         "failure", backend=backend, error=classify(exc)
                     )
+                if flight is not None:
+                    flight.record(
+                        "failure", op, backend=backend, error=classify(exc)
+                    )
+                    flight.attach(exc, "failure")
                 raise
             else:
                 return succeed(backend, attempt_no, result)
@@ -323,6 +347,15 @@ def run_with_policy(
                         error=classify(error),
                         backoff_s=wait,
                     )
+                if flight is not None:
+                    flight.record(
+                        "retry",
+                        op,
+                        backend=backend,
+                        attempt=attempt_no,
+                        error=classify(error),
+                        backoff_s=wait,
+                    )
             elif backend_index < len(chain) - 1:
                 report.fallbacks += 1
                 telemetry.record_fallback(op, backend)
@@ -334,6 +367,14 @@ def run_with_policy(
                 if span is not None:
                     span.event(
                         "fallback",
+                        backend=backend,
+                        next=chain[backend_index + 1],
+                        error=classify(error),
+                    )
+                if flight is not None:
+                    flight.record(
+                        "fallback",
+                        op,
                         backend=backend,
                         next=chain[backend_index + 1],
                         error=classify(error),
@@ -354,8 +395,14 @@ def run_with_policy(
                     snapshot = (
                         snap() if snap is not None else error.snapshot
                     )
-                raise FallbackExhaustedError(
+                exhausted = FallbackExhaustedError(
                     op=op, attempts=report.attempts, snapshot=snapshot
-                ) from error
+                )
+                if flight is not None:
+                    flight.record(
+                        "failure", op, backend=backend, error=classify(error)
+                    )
+                    flight.attach(exhausted, "fallback_exhausted")
+                raise exhausted from error
 
     raise AssertionError("unreachable: the chain loop always returns/raises")
