@@ -13,6 +13,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from .. import ops
 from ..core.config import SddmmConfig, SpmmConfig
 from ..gpu.device import DeviceSpec
@@ -200,6 +202,10 @@ class BenchRow:
     #: > 1 = row-sharded across a DeviceGroup, runtime_s is the group
     #: runtime and telemetry carries the comm/imbalance breakdown).
     devices: int = 1
+    #: Drop/grow topology mutations applied through the dispatch path
+    #: before the timed measurement (0 = static topology; > 0 = dynamic
+    #: sparsity, telemetry carries the plan_repairs count).
+    mutations: int = 0
     status: str = "ok"
     error: str = ""
     wall_s: float = 0.0
@@ -227,6 +233,8 @@ def _telemetry_totals(ctx) -> dict[str, int | float]:
         "oom_events": t.oom_events,
         "plan_evictions": t.plan_evictions,
         "bytes_evicted": t.bytes_evicted,
+        "plan_repairs": t.plan_repairs,
+        "plan_repair_rows": t.plan_repair_rows,
     }
 
 
@@ -256,9 +264,36 @@ def _group_telemetry_totals(group) -> dict[str, int | float]:
     return totals
 
 
+def _mutate_and_time(
+    timer, matrix: CSRMatrix, dim: int, device, mutations: int, kwargs: dict
+):
+    """Time a kernel under topology churn (the dynamic-sparsity path).
+
+    Applies ``mutations`` seeded drop/grow updates; each one registers its
+    :class:`~repro.core.repair.TopologyDelta` with the default context and
+    re-dispatches the timer, so plans repair incrementally step over step.
+    Returns the final step's result (steady-state dispatch cost).
+    """
+    from ..nn.dynamic import drop_grow_update, select_rows
+
+    ctx = ops.default_context(device)
+    rng = np.random.default_rng(0xD15)
+    grad = rng.standard_normal(tuple(matrix.shape)).astype(np.float32)
+    result = timer(matrix, dim, device, **kwargs)  # warm the parent plan
+    work = matrix
+    for _ in range(mutations):
+        rows = select_rows(work, 0.05, rng)
+        if rows.size == 0:
+            break
+        work, delta = drop_grow_update(work, grad, rows, 0.3)
+        ctx.register_topology_delta(delta)
+        result = timer(work, dim, device, **kwargs)
+    return result
+
+
 def _measure(
     timer, label: str, name: str, matrix: CSRMatrix, dim: int, device,
-    h: int = 1, selector: str = "heuristic", group=None,
+    h: int = 1, selector: str = "heuristic", group=None, mutations: int = 0,
 ) -> BenchRow:
     """Run one timer, converting a raised kernel failure into a failed row.
 
@@ -274,6 +309,12 @@ def _measure(
     ``name`` doubles as the per-device backend, ``runtime_s`` is the
     group runtime (max compute + exposed comm), and the comm breakdown
     rides in the telemetry delta.
+
+    ``mutations > 0`` measures under dynamic sparsity: that many seeded
+    drop/grow topology updates run through the dispatch path first (each
+    delta registered so plans repair incrementally), and the row reports
+    the final — steady-state — dispatch; the telemetry delta's
+    ``plan_repairs`` shows how many plans repaired instead of rebuilding.
     """
     devices = group.k if group is not None else 1
     base = dict(
@@ -287,6 +328,7 @@ def _measure(
         h=h,
         selector=selector,
         devices=devices,
+        mutations=mutations,
     )
     sharded = group is not None and group.k > 1
     if sharded:
@@ -303,6 +345,10 @@ def _measure(
         if sharded:
             result = sharded_spmm_time(
                 matrix, dim, group, kernel=name, selector=selector
+            )
+        elif mutations > 0:
+            result = _mutate_and_time(
+                timer, matrix, dim, device, mutations, kwargs
             )
         else:
             result = (

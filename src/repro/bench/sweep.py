@@ -55,16 +55,21 @@ class SweepTask:
     #: Simulated device count: ``> 1`` row-shards the measurement across a
     #: :class:`repro.dist.DeviceGroup` of this size.
     devices: int = 1
+    #: Dynamic-sparsity churn: ``> 0`` applies this many drop/grow topology
+    #: mutations before timing, registering each delta so the dispatch path
+    #: exercises incremental plan repair (DESIGN.md §17).
+    mutations: int = 0
 
     @property
     def row_key(self) -> str:
         """Stable identity used for resume bookkeeping and store keys.
 
-        Unbatched heuristic single-device tasks keep the historical
+        Unbatched heuristic single-device static tasks keep the historical
         ``spec|kernel|n`` form so resume files written before the ``h``,
-        ``selector``, and ``devices`` dimensions existed still match;
-        batched tasks append ``|h{h}``, non-heuristic selectors append
-        ``|sel:{selector}``, and sharded tasks append ``|d{devices}``.
+        ``selector``, ``devices``, and ``mutations`` dimensions existed
+        still match; batched tasks append ``|h{h}``, non-heuristic
+        selectors append ``|sel:{selector}``, sharded tasks append
+        ``|d{devices}``, and mutated tasks append ``|m{mutations}``.
         """
         key = f"{self.spec.name}|{self.kernel}|{self.n}"
         if self.h != 1:
@@ -73,6 +78,8 @@ class SweepTask:
             key = f"{key}|sel:{self.selector}"
         if self.devices != 1:
             key = f"{key}|d{self.devices}"
+        if self.mutations != 0:
+            key = f"{key}|m{self.mutations}"
         return key
 
 
@@ -113,9 +120,10 @@ def build_tasks(
     h: int | Sequence[int] = 1,
     selector: str = "heuristic",
     devices: int | Sequence[int] = 1,
+    mutations: int | Sequence[int] = 0,
 ) -> list[SweepTask]:
     """Expand specs × kernels × batch sizes × stack depths × device counts
-    into tasks.
+    × mutation counts into tasks.
 
     A spec's own ``batch_columns`` (when set) override the sweep-level
     ``n``; unknown kernel names fail fast here rather than inside a worker.
@@ -125,6 +133,11 @@ def build_tasks(
     ``devices`` counts above 1 row-shard the measurement across a
     :class:`repro.dist.DeviceGroup`; the sharded timer has no batched
     variant, so ``h > 1`` cannot combine with ``devices > 1``.
+    ``mutations`` counts above 0 run that many drop/grow topology updates
+    through the dispatch path before timing (dynamic sparsity; the delta
+    registration makes plans repair rather than rebuild); the mutated
+    timer is single-stack single-device, so it cannot combine with
+    ``h > 1`` or ``devices > 1``.
     """
     from ..tune import resolve_selector
 
@@ -133,14 +146,27 @@ def build_tasks(
     device_counts = (
         (devices,) if isinstance(devices, int) else tuple(devices)
     )
+    mutation_counts = (
+        (mutations,) if isinstance(mutations, int) else tuple(mutations)
+    )
     for k in device_counts:
         if k < 1:
             raise ValueError(f"devices must be >= 1, got {k}")
+    for m in mutation_counts:
+        if m < 0:
+            raise ValueError(f"mutations must be >= 0, got {m}")
     needs_batched = any(depth > 1 for depth in stacks)
     if needs_batched and any(k > 1 for k in device_counts):
         raise ValueError(
             "h > 1 cannot combine with devices > 1: the sharded timer "
             "dispatches single-stack SpMM per device"
+        )
+    if any(m > 0 for m in mutation_counts) and (
+        needs_batched or any(k > 1 for k in device_counts)
+    ):
+        raise ValueError(
+            "mutations > 0 cannot combine with h > 1 or devices > 1: the "
+            "mutated timer dispatches single-stack SpMM on one device"
         )
     for name in kernels:
         if name not in SPMM_KERNELS:
@@ -160,13 +186,14 @@ def build_tasks(
             for cols in spec_batches:
                 for depth in stacks:
                     for k in device_counts:
-                        tasks.append(
-                            SweepTask(
-                                spec=spec, kernel=kernel, n=int(cols),
-                                h=int(depth), selector=selector,
-                                devices=int(k),
+                        for m in mutation_counts:
+                            tasks.append(
+                                SweepTask(
+                                    spec=spec, kernel=kernel, n=int(cols),
+                                    h=int(depth), selector=selector,
+                                    devices=int(k), mutations=int(m),
+                                )
                             )
-                        )
     return tasks
 
 
@@ -239,11 +266,12 @@ def reset_worker_state() -> None:
 
 
 def _row_store_key(device: DeviceSpec, task: SweepTask) -> tuple:
-    # h == 1 / heuristic selection / one device keeps the historical
-    # 5-tuple so pre-batching store entries still hit; batched tasks append
-    # the stack depth (int), non-heuristic selectors the selector name
-    # (str), and sharded tasks a ("devices", k) pair — the suffix types
-    # all differ, so they cannot collide.
+    # h == 1 / heuristic selection / one device / no mutations keeps the
+    # historical 5-tuple so pre-batching store entries still hit; batched
+    # tasks append the stack depth (int), non-heuristic selectors the
+    # selector name (str), sharded tasks a ("devices", k) pair, and
+    # mutated tasks a ("mutations", m) pair — the suffix types all
+    # differ, so they cannot collide.
     key = ("sweep_row", device, repr(task.spec), task.kernel, task.n)
     if task.h != 1:
         key = key + (task.h,)
@@ -251,6 +279,8 @@ def _row_store_key(device: DeviceSpec, task: SweepTask) -> tuple:
         key = key + (task.selector,)
     if task.devices != 1:
         key = key + (("devices", task.devices),)
+    if task.mutations != 0:
+        key = key + (("mutations", task.mutations),)
     return key
 
 
@@ -375,12 +405,13 @@ def _measure_chunk(
                     h=task.h,
                     selector=task.selector,
                     devices=task.devices,
+                    mutations=task.mutations,
                 ):
                     row = asdict(
                         _measure(
                             timer, spec.name, task.kernel, matrix, task.n,
                             device, h=task.h, selector=task.selector,
-                            group=dgroup,
+                            group=dgroup, mutations=task.mutations,
                         )
                     )
             else:
@@ -388,6 +419,7 @@ def _measure_chunk(
                     _measure(
                         timer, spec.name, task.kernel, matrix, task.n, device,
                         h=task.h, selector=task.selector, group=dgroup,
+                        mutations=task.mutations,
                     )
                 )
             if store is not None and row["status"] == "ok":
@@ -454,6 +486,7 @@ def run_sweep(
     h: int | Sequence[int] = 1,
     selector: str = "heuristic",
     devices: int | Sequence[int] = 1,
+    mutations: int | Sequence[int] = 0,
     workers: int = 1,
     chunk_size: int = 8,
     store_path: str | Path | None = None,
@@ -488,9 +521,15 @@ def run_sweep(
       (row-sharded, outputs left sharded as in a chained pipeline) and
       suffixes the row key with ``|d{count}``, so sharded and
       single-device sweeps resume independently from one JSONL.
+    - ``mutations`` adds a dynamic-sparsity dimension: each count above 0
+      applies that many seeded drop/grow topology updates through the
+      dispatch path before timing (plans repair incrementally from the
+      registered deltas) and suffixes the row key with ``|m{count}``, so
+      static and dynamic sweeps resume independently from one JSONL.
     """
     tasks = build_tasks(
-        specs, kernels, n=n, h=h, selector=selector, devices=devices
+        specs, kernels, n=n, h=h, selector=selector, devices=devices,
+        mutations=mutations,
     )
     total = len(tasks)
     out_file = Path(out_path) if out_path is not None else None

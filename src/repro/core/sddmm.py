@@ -27,7 +27,12 @@ from ..gpu.occupancy import BlockResources, compute_occupancy
 from ..sparse.csr import CSRMatrix
 from ..sparse.ops import sddmm_batched_reference, sddmm_flops, sddmm_reference
 from .config import SddmmConfig
-from .swizzle import identity_swizzle, row_swizzle
+from .repair import (
+    TopologyDelta,
+    repair_column_histogram,
+    touched_columns,
+)
+from .swizzle import identity_swizzle, merge_swizzle, row_swizzle
 from .types import KernelResult
 
 #: Instructions an unneeded thread block executes before returning early.
@@ -73,22 +78,32 @@ def _validate(
 
 
 def build_launch(
-    mask: CSRMatrix, k: int, config: SddmmConfig, device: DeviceSpec
+    mask: CSRMatrix,
+    k: int,
+    config: SddmmConfig,
+    device: DeviceSpec,
+    *,
+    order: np.ndarray | None = None,
+    touched_cols: int | None = None,
 ) -> tuple[KernelLaunch, float]:
     """Cost the SDDMM launch; returns ``(real-work launch, early-exit drag)``.
 
     The drag term (seconds) accounts for the over-provisioned grid's empty
-    blocks flowing through the scheduler.
+    blocks flowing through the scheduler. ``order`` and ``touched_cols``
+    may be supplied by a planner that already holds them (plan repair
+    maintains both incrementally); when absent they are derived from the
+    mask as usual.
     """
     t = config.nonzeros_per_block
     vw = float(config.vector_width)
     warp = device.warp_size
 
-    order = (
-        row_swizzle(mask.row_lengths)
-        if config.load_balance
-        else identity_swizzle(mask.n_rows)
-    )
+    if order is None:
+        order = (
+            row_swizzle(mask.row_lengths)
+            if config.load_balance
+            else identity_swizzle(mask.n_rows)
+        )
     lengths = mask.row_lengths[order]
 
     # Strips per row, flattened in block_idx order (x fastest, then y).
@@ -145,7 +160,8 @@ def build_launch(
     # one SM reference overlapping rhs rows.
     occ = compute_occupancy(resources, device)
     resident = min(occ.blocks_per_sm, -(-n_real // device.num_sms))
-    touched_cols = len(np.unique(mask.column_indices))
+    if touched_cols is None:
+        touched_cols = len(np.unique(mask.column_indices))
     strip_mean = float(strip_nnz.mean())
     l1_cap = float(device.l1_capacity_per_sm)
 
@@ -229,6 +245,13 @@ class SddmmPlan:
     #: Shape of the planned mask, for execute-time validation.
     mask_shape: tuple[int, int]
     nnz: int
+    #: The strip scheduling order, kept so plan repair can merge it after
+    #: a topology edit instead of re-sorting. ``None`` on plans built
+    #: before repair support (older store entries).
+    row_order: np.ndarray | None = None
+    #: Per-column nonzero counts, carried by repaired plans so the next
+    #: repair updates it incrementally. ``None`` on cold-built plans.
+    col_counts: np.ndarray | None = None
 
 
 def plan_sddmm(
@@ -242,7 +265,12 @@ def plan_sddmm(
         from ..tune import default_sddmm_config
 
         config = default_sddmm_config(mask, k)
-    launch, drag = build_launch(mask, k, config, device)
+    order = (
+        row_swizzle(mask.row_lengths)
+        if config.load_balance
+        else identity_swizzle(mask.n_rows)
+    )
+    launch, drag = build_launch(mask, k, config, device, order=order)
     return SddmmPlan(
         config=config,
         k=k,
@@ -252,6 +280,56 @@ def plan_sddmm(
         execution=execute(launch, device).add_overhead(drag),
         mask_shape=mask.shape,
         nnz=mask.nnz,
+        row_order=order,
+    )
+
+
+def repair_sddmm_plan(
+    plan: SddmmPlan, mask: CSRMatrix, delta: TopologyDelta
+) -> SddmmPlan:
+    """Repair a parent plan for the edited mask (DESIGN.md §17).
+
+    Merges the parent's strip order over the edited rows and repairs its
+    column histogram incrementally; the per-strip cost vectors are cheap
+    and rebuilt outright. Bit-identical to ``plan_sddmm(mask, k, device,
+    config)``; inconsistencies raise ``PlanRepairError`` (dispatch falls
+    back to a cold re-plan).
+    """
+    from ..reliability.errors import PlanRepairError
+
+    if mask.shape != plan.mask_shape:
+        raise PlanRepairError(
+            f"edited mask {mask.shape} does not match the parent plan's "
+            f"mask {plan.mask_shape}"
+        )
+    config = plan.config
+    if config.load_balance:
+        if plan.row_order is not None:
+            order = merge_swizzle(plan.row_order, mask.row_lengths, delta.rows)
+        else:  # pre-repair store entry: re-sort (still skips np.unique)
+            order = row_swizzle(mask.row_lengths)
+    else:
+        order = identity_swizzle(mask.n_rows)
+    counts = repair_column_histogram(plan.col_counts, delta, mask)
+    launch, drag = build_launch(
+        mask,
+        plan.k,
+        config,
+        plan.device,
+        order=order,
+        touched_cols=touched_columns(counts),
+    )
+    return SddmmPlan(
+        config=config,
+        k=plan.k,
+        device=plan.device,
+        launch=launch,
+        drag=drag,
+        execution=execute(launch, plan.device).add_overhead(drag),
+        mask_shape=mask.shape,
+        nnz=mask.nnz,
+        row_order=order,
+        col_counts=counts,
     )
 
 

@@ -35,7 +35,17 @@ from .roma import (
     align_rows,
     unaligned_rows,
 )
-from .swizzle import swizzled_row_groups
+from .repair import (
+    TopologyDelta,
+    repair_column_histogram,
+    touched_columns,
+)
+from .swizzle import (
+    group_rows,
+    identity_swizzle,
+    merge_swizzle,
+    swizzled_row_groups,
+)
 from .tiling import SpmmTiling, derive_tiling
 from .types import KernelResult
 
@@ -112,8 +122,14 @@ def _launch_from_analysis(
     tiling: SpmmTiling,
     groups: np.ndarray,
     extents: AlignedRows,
+    touched_cols: int | None = None,
 ) -> KernelLaunch:
-    """Cost the SpMM launch from a precomputed analysis (see ``_analyze``)."""
+    """Cost the SpMM launch from a precomputed analysis (see ``_analyze``).
+
+    ``touched_cols`` (the count of distinct referenced columns) may be
+    supplied by plan repair, which maintains it incrementally; when absent
+    it is derived from the column indices as usual.
+    """
     gx, gy = tiling.grid(a.n_rows, n)
     vb = config.element_bytes
     ib = config.index_bytes
@@ -205,7 +221,8 @@ def _launch_from_analysis(
     # other resident rows land inside a small sliding window that the L1
     # easily holds — the "locality serviced through caches" the paper
     # predicts for subwarp tiling.
-    touched_cols = len(np.unique(a.column_indices)) if a.nnz else 0
+    if touched_cols is None:
+        touched_cols = len(np.unique(a.column_indices)) if a.nnz else 0
     occ = compute_occupancy(resources, device)
     resident = min(occ.blocks_per_sm, -(-gx * gy // device.num_sms))
     rows_per_sm = resident * tiling.block_items_y
@@ -296,6 +313,10 @@ class SpmmPlan:
     #: Shape of the planned sparse operand, for execute-time validation.
     m: int
     k: int
+    #: Per-column nonzero counts, carried by repaired plans so the next
+    #: repair updates it incrementally instead of re-scanning the matrix.
+    #: ``None`` on cold-built plans (computed on first repair).
+    col_counts: np.ndarray | None = None
 
 
 def plan_spmm(
@@ -327,6 +348,69 @@ def plan_spmm(
         execution=execute(launch, device),
         m=a.n_rows,
         k=a.n_cols,
+    )
+
+
+def repair_spmm_plan(
+    plan: SpmmPlan, a: CSRMatrix, delta: TopologyDelta
+) -> SpmmPlan:
+    """Repair a parent plan for the edited topology ``a`` (DESIGN.md §17).
+
+    Reuses the parent's swizzle order (merged over the edited rows) and
+    its column histogram (updated incrementally) instead of re-running the
+    full O(nnz log nnz) column analysis; the row extents and the launch
+    cost vectors are cheap and recomputed outright. The result is
+    bit-identical to ``plan_spmm(a, n, device, config)``. Inconsistencies
+    raise :class:`~repro.reliability.errors.PlanRepairError`, which the
+    dispatch layer converts into a cold re-plan.
+    """
+    from ..reliability.errors import PlanRepairError
+
+    if a.shape != (plan.m, plan.k):
+        raise PlanRepairError(
+            f"edited topology {a.shape} does not match the parent plan's "
+            f"operand ({plan.m}, {plan.k})"
+        )
+    config = plan.config
+    if a.values.dtype != config.value_dtype:
+        raise PlanRepairError(
+            f"edited topology holds {a.values.dtype} values but the parent "
+            f"plan is {config.precision}"
+        )
+    tiling = plan.tiling
+    if config.load_balance:
+        order = merge_swizzle(plan.row_order, a.row_lengths, delta.rows)
+    else:
+        order = identity_swizzle(a.n_rows)
+    groups = group_rows(order, tiling.block_items_y)
+    use_vector_a = config.vector_width > 1 and config.roma
+    extents = (
+        align_rows(a, config.vector_width) if use_vector_a else unaligned_rows(a)
+    )
+    counts = repair_column_histogram(plan.col_counts, delta, a)
+    launch = _launch_from_analysis(
+        a,
+        plan.n,
+        config,
+        plan.device,
+        tiling,
+        groups,
+        extents,
+        touched_cols=touched_columns(counts),
+    )
+    return SpmmPlan(
+        config=config,
+        n=plan.n,
+        device=plan.device,
+        tiling=tiling,
+        row_order=order,
+        row_groups=groups,
+        extents=extents,
+        launch=launch,
+        execution=execute(launch, plan.device),
+        m=a.n_rows,
+        k=a.n_cols,
+        col_counts=counts,
     )
 
 

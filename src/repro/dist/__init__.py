@@ -26,6 +26,7 @@ from .partition import (
     partition_loads,
     partition_stats,
     plan_shards,
+    repair_shard_plan,
     row_block_partition,
 )
 from .sharded import (
@@ -41,6 +42,7 @@ __all__ = [
     "collective_execution",
     "ShardPlan",
     "plan_shards",
+    "repair_shard_plan",
     "cost_balanced_partition",
     "row_block_partition",
     "partition_loads",

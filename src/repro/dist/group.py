@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+import numpy as np
+
 from ..gpu.device import V100, DeviceSpec
 from ..gpu.executor import ExecutionResult, PhaseTimes
 from ..gpu.interconnect import (
@@ -28,10 +30,16 @@ from ..gpu.interconnect import (
     InterconnectSpec,
     get_interconnect,
 )
+from ..core.repair import TopologyDelta
 from ..ops.context import DEFAULT_MAX_PLANS, ExecutionContext
-from ..ops.plans import matrix_fingerprint
+from ..ops.plans import matrix_fingerprint, topology_delta
 from ..sparse.csr import CSRMatrix
-from .partition import DEFAULT_BUNDLE_SIZE, ShardPlan, plan_shards
+from .partition import (
+    DEFAULT_BUNDLE_SIZE,
+    ShardPlan,
+    plan_shards,
+    repair_shard_plan,
+)
 
 #: Per-group LRU capacity for materialized sub-matrix shards.
 MAX_SHARD_SETS = 16
@@ -125,19 +133,27 @@ class DeviceGroup:
         strategy: str = "row",
         bundle_size: int = DEFAULT_BUNDLE_SIZE,
     ) -> ShardPlan:
-        """The (cached) :class:`ShardPlan` for this topology on this group."""
-        key = (
-            "shard_plan",
-            matrix_fingerprint(a),
-            self.k,
-            strategy,
-            bundle_size,
-        )
+        """The (cached) :class:`ShardPlan` for this topology on this group.
+
+        When a :class:`~repro.core.repair.TopologyDelta` is registered for
+        this topology (see :meth:`register_topology_delta`), a cache miss
+        repairs the parent's plan — merged swizzle + LPT rerun,
+        bit-identical to a cold plan — instead of re-sorting from scratch.
+        """
+        fp = matrix_fingerprint(a)
+        key = ("shard_plan", fp, self.k, strategy, bundle_size)
         return self.lead._cached(
             "shard_plan",
             "dist",
             key,
             lambda: plan_shards(a, self.k, strategy, bundle_size),
+            repair=self.lead._repairable_plan(
+                fp,
+                lambda parent_fp: (
+                    "shard_plan", parent_fp, self.k, strategy, bundle_size,
+                ),
+                lambda plan, delta: repair_shard_plan(plan, a, delta),
+            ),
         )
 
     def shards(
@@ -157,11 +173,17 @@ class DeviceGroup:
         plan = self.shard_plan(a, strategy, bundle_size)
         if self.k == 1:
             return plan, [a]
-        key = (matrix_fingerprint(a), self.k, plan.strategy, bundle_size)
+        fp = matrix_fingerprint(a)
+        key = (fp, self.k, plan.strategy, bundle_size)
         hit = self._shard_sets.get(key)
-        if hit is not None:
+        if hit is not None and hit[2] is a.values:
             self._shard_sets.move_to_end(key)
             return plan, hit[1]
+        # Miss — or a structural hit whose memoized sub-matrices hold a
+        # *stale value buffer* (an optimizer step swapped ``a.values``
+        # without touching the topology): re-slice either way. Shard
+        # structure bytes are identical across a value update, so every
+        # per-device plan still fingerprint-hits.
         subs = []
         for d in range(self.k):
             rows, (lo, hi) = plan.device_tile(d)
@@ -169,10 +191,88 @@ class DeviceGroup:
             if (lo, hi) != (0, a.shape[1]):
                 sub = sub.take_cols(lo, hi)
             subs.append(sub)
-        self._shard_sets[key] = (plan, subs)
+        if hit is None:
+            self._register_shard_deltas(a, fp, plan, subs, bundle_size)
+        self._shard_sets[key] = (plan, subs, a.values)
         while len(self._shard_sets) > MAX_SHARD_SETS:
             self._shard_sets.popitem(last=False)
         return plan, subs
+
+    # ------------------------------------------------------------------
+    # Dynamic sparsity: group-level topology deltas (DESIGN.md §17)
+    # ------------------------------------------------------------------
+    def register_topology_delta(self, delta: TopologyDelta) -> None:
+        """Make the child topology's plans repairable group-wide.
+
+        Registers on every device context: the lead repairs the
+        :class:`ShardPlan` (and any full-matrix kernel plans it owns);
+        per-device *sub*-deltas are derived lazily by :meth:`shards` when
+        the re-balanced partition keeps a device's row set unchanged.
+        """
+        for ctx in self.contexts:
+            ctx.register_topology_delta(delta)
+
+    def invalidate_topology(self, fingerprint: str, op: str = "topology"):
+        """Evict plans keyed on ``fingerprint`` from every device context
+        (and the memoized shard sets derived from it). Returns the total
+        number of in-memory entries evicted."""
+        evicted = sum(
+            ctx.invalidate_topology(fingerprint, op) for ctx in self.contexts
+        )
+        for key in [k for k in self._shard_sets if k[0] == fingerprint]:
+            del self._shard_sets[key]
+        return evicted
+
+    def _register_shard_deltas(
+        self,
+        a: CSRMatrix,
+        fp: str,
+        plan: ShardPlan,
+        subs: list[CSRMatrix],
+        bundle_size: int,
+    ) -> None:
+        """Derive per-device sub-deltas from a registered group delta.
+
+        Only devices whose row set survived the re-balance *unchanged* and
+        that own a full-width tile get one: their old and new sub-matrices
+        differ exactly at the edited rows that landed on them, so the
+        device context can repair its SpMM/SDDMM plans locally. Devices
+        with unchanged rows and *no* local edits need nothing (identical
+        structure bytes → same fingerprint → pure cache hit); devices
+        whose row set moved re-plan cold.
+        """
+        delta = self.lead.topology_delta_for(fp)
+        if delta is None:
+            return
+        parent_key = (delta.parent, self.k, plan.strategy, bundle_size)
+        parent_hit = self._shard_sets.get(parent_key)
+        if parent_hit is None:
+            return
+        parent_plan, parent_subs = parent_hit[0], parent_hit[1]
+        from ..reliability.errors import PlanRepairError
+
+        for d in range(self.k):
+            rows, (lo, hi) = plan.device_tile(d)
+            rows_old, span_old = parent_plan.device_tile(d)
+            if (lo, hi) != (0, a.shape[1]) or span_old != (lo, hi):
+                continue  # column-sliced tiles: cold re-plan
+            if rows.size == 0 or not np.array_equal(rows, rows_old):
+                continue  # empty or moved row set: cold re-plan
+            pos = np.searchsorted(rows, delta.rows)
+            pos_c = np.minimum(pos, rows.size - 1)
+            local = pos_c[rows[pos_c] == delta.rows]
+            if local.size == 0:
+                continue  # no edits landed here: pure fingerprint hit
+            try:
+                sub_delta = topology_delta(
+                    parent_subs[d],
+                    subs[d],
+                    local,
+                    values_preserved=delta.values_preserved,
+                )
+            except PlanRepairError:
+                continue
+            self.contexts[d].register_topology_delta(sub_delta)
 
     # ------------------------------------------------------------------
     # Communication + rollups

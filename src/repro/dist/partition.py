@@ -29,7 +29,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.swizzle import bundle_rows, bundle_weights, row_swizzle
+from ..core.repair import TopologyDelta
+from ..core.swizzle import (
+    bundle_rows,
+    bundle_weights,
+    merge_swizzle,
+    row_swizzle,
+)
+from ..reliability.errors import PlanRepairError
 from ..sparse.csr import CSRMatrix
 
 #: Rows per assignment unit. Bundles keep neighbouring similar-length rows
@@ -54,17 +61,24 @@ def cost_balanced_partition(
     row_lengths: np.ndarray,
     k: int,
     bundle_size: int = DEFAULT_BUNDLE_SIZE,
+    order: np.ndarray | None = None,
 ) -> list[np.ndarray]:
     """Assign rows to ``k`` devices so per-device nonzero totals balance.
 
     Returns ``k`` sorted row-index arrays (sorted for gather locality; the
     device-local kernel re-swizzles internally anyway). Deterministic for a
     given input: the sort is stable and ties go to the lowest device id.
+
+    ``order`` is the decreasing-length row order when the caller already
+    has it (e.g. a repaired swizzle from
+    :func:`~repro.core.swizzle.merge_swizzle`); it must equal
+    ``row_swizzle(row_lengths)``.
     """
     if k < 1:
         raise ValueError("need at least one device")
     lengths = np.asarray(row_lengths)
-    order = row_swizzle(lengths)
+    if order is None:
+        order = row_swizzle(lengths)
     bundles = bundle_rows(order, bundle_size)
     weights = bundle_weights(lengths, order, bundle_size)
     loads = np.zeros(k, dtype=np.float64)
@@ -141,6 +155,9 @@ class ShardPlan:
     loads: np.ndarray
     bundle_size: int = DEFAULT_BUNDLE_SIZE
     stats: dict = field(default_factory=dict)
+    #: Decreasing-length row order the partition was derived from; repair
+    #: state for :func:`repair_shard_plan` (``None`` on pre-v6 plans).
+    row_order: np.ndarray | None = None
 
     @property
     def max_load(self) -> int:
@@ -168,24 +185,35 @@ def plan_shards(
     k: int,
     strategy: str = "row",
     bundle_size: int = DEFAULT_BUNDLE_SIZE,
+    order: np.ndarray | None = None,
 ) -> ShardPlan:
     """Build the :class:`ShardPlan` for one topology (uncached; the
-    :class:`~repro.dist.group.DeviceGroup` layers plan caching on top)."""
+    :class:`~repro.dist.group.DeviceGroup` layers plan caching on top).
+
+    ``order`` optionally supplies the decreasing-length row order (the
+    repair path's merged swizzle); when ``None`` it is computed fresh.
+    """
     if strategy not in STRATEGIES:
         raise ValueError(
             f"unknown shard strategy {strategy!r}; expected one of "
             f"{STRATEGIES}"
         )
     lengths = a.row_lengths
+    if order is None:
+        order = row_swizzle(lengths)
     if strategy == "row" or k == 1:
         grid = (k, 1)
-        device_rows = cost_balanced_partition(lengths, k, bundle_size)
+        device_rows = cost_balanced_partition(
+            lengths, k, bundle_size, order=order
+        )
         col_ranges = [(0, a.shape[1])]
         loads = partition_loads(lengths, device_rows)
     else:
         grid = _grid_for(k)
         kr, kc = grid
-        device_rows = cost_balanced_partition(lengths, kr, bundle_size)
+        device_rows = cost_balanced_partition(
+            lengths, kr, bundle_size, order=order
+        )
         bounds = np.linspace(0, a.shape[1], kc + 1).astype(np.int64)
         col_ranges = [
             (int(bounds[j]), int(bounds[j + 1])) for j in range(kc)
@@ -208,6 +236,7 @@ def plan_shards(
         col_ranges=col_ranges,
         loads=loads,
         bundle_size=bundle_size,
+        row_order=order,
     )
     plan.stats = {
         "max_load": plan.max_load,
@@ -215,3 +244,33 @@ def plan_shards(
         "max_over_mean": plan.max_over_mean,
     }
     return plan
+
+
+def repair_shard_plan(
+    plan: ShardPlan, a: CSRMatrix, delta: TopologyDelta
+) -> ShardPlan:
+    """Re-balance a :class:`ShardPlan` after a row-targeted topology edit.
+
+    Merges the edited rows into the ancestor's swizzle order
+    (:func:`~repro.core.swizzle.merge_swizzle`, O(rows + edits log edits))
+    instead of re-sorting, then reruns the cheap bundling + LPT assignment
+    over the merged order — bit-identical to :func:`plan_shards` from
+    scratch (property-tested in tests/test_dynamic.py). Raises
+    :class:`~repro.reliability.errors.PlanRepairError` when the ancestor
+    predates repair state or shapes disagree; the caller falls back to a
+    cold plan.
+    """
+    if plan.row_order is None:
+        raise PlanRepairError(
+            "ancestor shard plan carries no row_order (pre-repair store "
+            "entry); cold re-plan required"
+        )
+    if a.shape[0] != len(plan.row_order):
+        raise PlanRepairError(
+            f"shard-plan repair row mismatch: ancestor ordered "
+            f"{len(plan.row_order)} rows, child has {a.shape[0]}"
+        )
+    order = merge_swizzle(plan.row_order, a.row_lengths, delta.rows)
+    return plan_shards(
+        a, plan.k, plan.strategy, plan.bundle_size, order=order
+    )

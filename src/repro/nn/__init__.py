@@ -19,6 +19,12 @@ from .batchnorm import (
     fuse_into_sparse,
 )
 from .conv import depthwise_conv, im2col, sparse_conv3x3_operands
+from .dynamic import (
+    DropGrowSchedule,
+    drop_grow_step,
+    drop_grow_update,
+    select_rows,
+)
 from .layers import Linear, SparseLinear
 from .mobilenet import MobileNetReport, MobileNetV1, reference_accuracy, scaled_channels
 from .mobilenet import benchmark as benchmark_mobilenet
@@ -77,6 +83,10 @@ __all__ = [
     "prune_to_csr",
     "gradual_sparsity",
     "MagnitudePruner",
+    "DropGrowSchedule",
+    "drop_grow_update",
+    "drop_grow_step",
+    "select_rows",
     "make_regression_task",
     "train_pruned_mlp",
     "TrainingResult",

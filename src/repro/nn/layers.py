@@ -109,6 +109,10 @@ class SparseLinear:
         self._weight = weight
         self._transpose_plan = CachedTranspose(weight)
         self._w_t: CSRMatrix | None = None
+        # Repair lineage (update_topology): the previous topology's plans
+        # stay cached as repair ancestors for exactly one generation.
+        self._parent_fp: str | None = None
+        self._parent_wt_fp: str | None = None
 
     @property
     def weight_bytes(self) -> int:
@@ -171,9 +175,69 @@ class SparseLinear:
 
     def update_values(self, new_values: np.ndarray) -> None:
         """In-place value update: same topology, so the transpose plan and
-        kernel plans stay valid — only the cached transposed values drop."""
+        kernel plans stay valid — only the cached transposed values drop.
+
+        Raises :class:`ValueError` when the value count disagrees with the
+        current topology — that is a *topology* edit and must go through
+        :meth:`update_topology`, which handles plan invalidation/repair.
+        """
+        new_values = np.asarray(new_values)
+        if new_values.size != self._weight.nnz:
+            raise ValueError(
+                f"update_values got {new_values.size} values for a "
+                f"{self._weight.nnz}-nonzero topology; a sparsity-pattern "
+                "change must go through update_topology()"
+            )
         self._weight = self._weight.with_values(new_values)
         self._w_t = None
+
+    def update_topology(
+        self, new_weight: CSRMatrix, delta=None, context=None
+    ) -> None:
+        """Swap in a mutated sparsity pattern (a drop/grow update).
+
+        Rebuilds the per-weight caches (transpose plan, cached ``Wᵀ``)
+        like the ``weight`` setter, and — when ``context`` is an
+        :class:`~repro.ops.context.ExecutionContext` — wires the plan
+        cache for the edit:
+
+        - ``delta`` (a :class:`~repro.core.repair.TopologyDelta`, computed
+          by diffing when ``None``) is registered so the next plan lookup
+          repairs instead of cold-building;
+        - when the transposed CSR was cached, a ``Wᵀ`` delta is derived
+          too, making the backward SpMM's plan repairable as well;
+        - plans two generations old — the previous update's *ancestors*,
+          which no future lookup or repair can reach — are evicted
+          (``plan_invalidations`` telemetry). The immediate parent's
+          plans stay cached: they are the repair ancestors for this edit.
+        """
+        if tuple(new_weight.shape) != tuple(self._weight.shape):
+            raise ValueError(
+                f"update_topology shape mismatch: layer is "
+                f"{tuple(self._weight.shape)}, got {tuple(new_weight.shape)}"
+            )
+        old = self._weight
+        old_w_t = self._w_t
+        stale_fp = self._parent_fp
+        stale_wt_fp = self._parent_wt_fp
+        if context is not None and delta is None:
+            delta = ops.topology_delta(old, new_weight)
+        self.weight = new_weight  # property: rebuilds the transpose caches
+        if context is None:
+            return
+        context.register_topology_delta(delta)
+        self._parent_fp = delta.parent
+        if old_w_t is not None:
+            # Derive the transpose-side delta so δX's SpMM plan repairs
+            # too: the transposed edit touches the *columns* the edited
+            # rows reference, diffed directly on the transposed CSRs.
+            new_w_t = self._weight_transpose()
+            wt_delta = ops.topology_delta(old_w_t, new_w_t)
+            context.register_topology_delta(wt_delta)
+            self._parent_wt_fp = wt_delta.parent
+        for fp in (stale_fp, stale_wt_fp):
+            if fp is not None:
+                context.invalidate_topology(fp, op="sparse_linear")
 
     def reference_forward(self, x: np.ndarray) -> np.ndarray:
         """Numpy ground truth (for tests)."""

@@ -52,7 +52,8 @@ from .operators import (
     spmm_batched_cost,
     spmm_cost,
 )
-from .plans import PlanCache, matrix_fingerprint
+from ..core.repair import TopologyDelta
+from .plans import PlanCache, matrix_fingerprint, topology_delta
 from .store import PLAN_STORE_VERSION, PlanStore, StoreStats
 from .registry import (
     KernelImpl,
@@ -89,6 +90,8 @@ __all__ = [
     "resolve_context",
     "PlanCache",
     "matrix_fingerprint",
+    "topology_delta",
+    "TopologyDelta",
     "PlanStore",
     "StoreStats",
     "PLAN_STORE_VERSION",

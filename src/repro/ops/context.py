@@ -25,11 +25,13 @@ from ..baselines.aspt import memory_overhead_bytes as aspt_overhead_bytes
 from ..baselines.cublas import gemm_execution
 from ..core.config import SddmmConfig, SpmmConfig
 from ..core.csc_spmm import plan_spmm_csc
+from ..core.repair import TopologyDelta
 from ..core.sddmm import (
     SddmmBatchedPlan,
     SddmmPlan,
     plan_sddmm,
     plan_sddmm_batched,
+    repair_sddmm_plan,
 )
 from ..core.sparse_softmax import (
     SparseSoftmaxBatchedPlan,
@@ -42,6 +44,7 @@ from ..core.spmm import (
     SpmmPlan,
     plan_spmm,
     plan_spmm_batched,
+    repair_spmm_plan,
 )
 from ..gpu.allocator import (
     Allocation,
@@ -52,7 +55,11 @@ from ..gpu.allocator import (
 from ..gpu.device import V100, DeviceSpec
 from ..gpu.executor import ExecutionResult
 from ..obs.flight import FlightRecorder, flight_from_env
-from ..reliability.errors import DeviceOOMError
+from ..reliability.errors import (
+    DeviceOOMError,
+    PlanCorruptionError,
+    classify,
+)
 from ..sparse.csc import CSCMatrix
 from ..sparse.csr import CSRMatrix
 from ..tune import TuningResult, resolve_selector
@@ -87,6 +94,9 @@ TELEMETRY_SCHEMA: dict[str, type] = {
     "oom_events": int,
     "plan_evictions": int,
     "bytes_evicted": int,
+    "plan_repairs": int,
+    "plan_repair_rows": int,
+    "plan_invalidations": int,
 }
 
 
@@ -119,6 +129,13 @@ class OpStats:
     oom_events: int = 0
     plan_evictions: int = 0
     bytes_evicted: int = 0
+    # Dynamic-sparsity counters (populated by the plan-repair path):
+    # plans produced by incremental repair instead of a cold build, the
+    # total edited rows those repairs re-planned, and cache entries
+    # evicted by topology invalidation.
+    plan_repairs: int = 0
+    plan_repair_rows: int = 0
+    plan_invalidations: int = 0
 
     def as_dict(self) -> dict[str, int | float]:
         """Snapshot row, coerced to the :data:`TELEMETRY_SCHEMA` types."""
@@ -228,6 +245,19 @@ class Telemetry:
         """Tensor-residency bytes reclaimed under memory pressure."""
         self._get(op, backend).bytes_evicted += nbytes
 
+    # -- dynamic-sparsity counters (fed by the plan-repair path) ----------
+    def record_plan_repair(self, op: str, backend: str, rows: int) -> None:
+        """One plan produced by incremental repair (``rows`` edited)."""
+        entry = self._get(op, backend)
+        entry.plan_repairs += 1
+        entry.plan_repair_rows += int(rows)
+
+    def record_plan_invalidation(
+        self, op: str, backend: str, count: int = 1
+    ) -> None:
+        """``count`` cached entries evicted by a topology invalidation."""
+        self._get(op, backend).plan_invalidations += int(count)
+
     def reset(self) -> None:
         """Zero every counter (plans/caches are unaffected)."""
         self.stats.clear()
@@ -305,6 +335,18 @@ class Telemetry:
     def bytes_evicted(self) -> int:
         return sum(s.bytes_evicted for s in self.stats.values())
 
+    @property
+    def plan_repairs(self) -> int:
+        return sum(s.plan_repairs for s in self.stats.values())
+
+    @property
+    def plan_repair_rows(self) -> int:
+        return sum(s.plan_repair_rows for s in self.stats.values())
+
+    @property
+    def plan_invalidations(self) -> int:
+        return sum(s.plan_invalidations for s in self.stats.values())
+
     def summary(self) -> str:
         """One line per (op, backend), for logs and examples."""
         lines = []
@@ -327,6 +369,12 @@ class Telemetry:
                 )
                 if s.store_evictions:
                     line += f" store_evictions={s.store_evictions}"
+            if s.plan_repairs or s.plan_invalidations:
+                line += (
+                    f" repairs={s.plan_repairs}"
+                    f" repair_rows={s.plan_repair_rows}"
+                    f" invalidations={s.plan_invalidations}"
+                )
             lines.append(line)
         return "\n".join(lines)
 
@@ -446,6 +494,11 @@ class _MemoryScope:
 #: Shared no-op scope for contexts with accounting disabled.
 _NULL_SCOPE = nullcontext()
 
+#: Registered topology deltas kept per context (LRU): one entry per live
+#: mutated topology is plenty — dynamic training registers one delta per
+#: update step and the repaired plans land in the regular cache.
+MAX_TOPOLOGY_DELTAS = 64
+
 
 class ExecutionContext:
     """Device + plan cache + telemetry for the dispatch layer.
@@ -554,6 +607,10 @@ class ExecutionContext:
         #: dispatch scope (e.g. the policy ladder's explicit eviction).
         self._mem_attr = ("memory", "allocator")
         self._reclaiming = False
+        #: Registered topology deltas, keyed by *child* fingerprint: the
+        #: fingerprint-delta lookup (exact hit -> repairable ancestor ->
+        #: cold build) consults this before paying a cold plan build.
+        self._deltas: OrderedDict[str, TopologyDelta] = OrderedDict()
         self.plans.on_evict = self._on_plan_evicted
 
     def __repr__(self) -> str:
@@ -572,9 +629,18 @@ class ExecutionContext:
             PlanStore(store) if isinstance(store, (str, Path)) else store
         )
 
-    def _cached(self, op: str, backend: str, key: tuple, build, storable=None):
+    def _cached(
+        self,
+        op: str,
+        backend: str,
+        key: tuple,
+        build,
+        storable=None,
+        repair=None,
+    ):
         """Two-tier plan lookup: memory cache, then the persistent store,
-        then ``build`` (persisting the result to both tiers).
+        then an incremental repair (when a topology delta applies), then
+        ``build`` (persisting the result to both tiers).
 
         A poisoned in-memory entry raises
         :class:`~repro.reliability.errors.PlanCorruptionError` exactly like
@@ -586,6 +652,12 @@ class ExecutionContext:
         write: a tuning result that *fell back* under injected faults is
         kept in memory for this process but never persisted, so a later
         fault-free run re-tunes instead of inheriting the degraded pick.
+
+        ``repair`` (a zero-arg callable returning ``(value, delta)`` or
+        ``None``) is the fingerprint-delta hook: tried only after both
+        cache tiers miss, and *any* failure inside it — including injected
+        faults — falls through to the cold ``build``, so a repair can cost
+        at most a re-plan, never a corrupt plan.
         """
         span = self.tracer.current if self.tracer is not None else None
         value = self.plans.get(key)
@@ -604,6 +676,10 @@ class ExecutionContext:
                 self.plans.put(key, stored)
                 self._charge_plan(key, stored, op, backend)
                 return stored
+        if repair is not None:
+            value = self._attempt_repair(op, backend, key, repair, span)
+            if value is not None:
+                return value
         value = build()
         if span is not None:
             span.set(plan_cache="miss", plan_source="built")
@@ -615,6 +691,148 @@ class ExecutionContext:
             self._no_spill.add(key)
         self._charge_plan(key, value, op, backend)
         return value
+
+    def _attempt_repair(self, op: str, backend: str, key: tuple, repair, span):
+        """Run one repair attempt; ``None`` means "fall back to cold".
+
+        Successful repairs are cached and persisted like built plans, with
+        the repair lineage recorded in the store envelope. Failures only
+        leave a span/flight breadcrumb — the caller cold-builds and the
+        result is correct either way.
+        """
+        try:
+            if self.injector is not None:
+                self.injector.on_repair(self, op, backend)
+            result = repair()
+            if result is None:
+                return None
+            value, delta = result
+        except Exception as exc:
+            if span is not None:
+                span.event("plan_repair_failed", op=op, error=classify(exc))
+            if self.flight is not None:
+                self.flight.record(
+                    "plan_repair_failed",
+                    op,
+                    op=op,
+                    backend=backend,
+                    error=classify(exc),
+                )
+            return None
+        rows = delta.n_rows_edited
+        self.telemetry.record_plan_repair(op, backend, rows)
+        if span is not None:
+            span.set(
+                plan_cache="miss", plan_source="repaired", repair_rows=rows
+            )
+        if self.flight is not None:
+            self.flight.record(
+                "plan_repair",
+                op,
+                op=op,
+                backend=backend,
+                rows=rows,
+                parent=delta.parent,
+                child=delta.child,
+            )
+        self.plans.put(key, value)
+        if self.store is not None:
+            self.store.save(
+                (self.device,) + key,
+                value,
+                lineage={
+                    "parent": delta.parent,
+                    "child": delta.child,
+                    "rows": rows,
+                },
+            )
+        self._charge_plan(key, value, op, backend)
+        return value
+
+    # ------------------------------------------------------------------
+    # Dynamic sparsity: topology deltas and invalidation (DESIGN.md §17)
+    # ------------------------------------------------------------------
+    def register_topology_delta(self, delta: TopologyDelta) -> None:
+        """Make plans for ``delta.child`` repairable from ``delta.parent``.
+
+        The next plan lookup for the child fingerprint that misses both
+        cache tiers will try to repair the parent's plan instead of cold
+        building. Registration is bounded (LRU over
+        :data:`MAX_TOPOLOGY_DELTAS` entries) and single-hop: per-step
+        chains stay warm because each repaired plan lands in the cache
+        under the child fingerprint, becoming the next step's parent.
+        """
+        self._deltas[delta.child] = delta
+        self._deltas.move_to_end(delta.child)
+        while len(self._deltas) > MAX_TOPOLOGY_DELTAS:
+            self._deltas.popitem(last=False)
+
+    def topology_delta_for(self, fingerprint: str) -> TopologyDelta | None:
+        """The registered delta that produces ``fingerprint``, if any."""
+        return self._deltas.get(fingerprint)
+
+    def invalidate_topology(
+        self, fingerprint: str, op: str = "topology"
+    ) -> int:
+        """Evict every cached plan/config keyed on ``fingerprint``.
+
+        Used when a topology is edited in place (e.g. a ``SparseLinear``
+        weight swap): entries under the old fingerprint are unreachable by
+        correct lookups but still hold device memory and can shadow a
+        repair chain. Returns the number of in-memory entries evicted,
+        recorded as ``plan_invalidations``. Store entries are left alone —
+        they are content-addressed by the old topology and stay valid for
+        it.
+        """
+        stale = [
+            k
+            for k in self.plans.keys()
+            if len(k) > 1 and isinstance(k[1], str) and k[1] == fingerprint
+        ]
+        for k in stale:
+            self.plans.evict(k)
+        self._deltas.pop(fingerprint, None)
+        if stale:
+            self.telemetry.record_plan_invalidation(
+                op, "plan_cache", len(stale)
+            )
+            if self.flight is not None:
+                self.flight.record(
+                    "plan_invalidate",
+                    op,
+                    fingerprint=fingerprint,
+                    entries=len(stale),
+                )
+        return len(stale)
+
+    def _repairable_plan(self, fp: str, parent_key_for, repair_with):
+        """Build ``_cached``'s repair hook for one plan family.
+
+        ``None`` when no delta is registered for ``fp``. The hook looks up
+        the ancestor plan under the delta's parent fingerprint — memory
+        first, then the store (an ancillary probe, not counted in store
+        telemetry) — and runs the kernel-specific repair. A poisoned
+        ancestor aborts the repair (cold build recovers).
+        """
+        delta = self._deltas.get(fp)
+        if delta is None:
+            return None
+
+        def attempt():
+            parent_key = parent_key_for(delta.parent)
+            try:
+                ancestor = self.plans.get(parent_key)
+            except PlanCorruptionError:
+                return None
+            if ancestor is None and self.store is not None:
+                ancestor, _status = self.store.fetch(
+                    (self.device,) + parent_key
+                )
+            if ancestor is None:
+                return None
+            return repair_with(ancestor, delta), delta
+
+        return attempt
 
     # ------------------------------------------------------------------
     # HBM capacity accounting (see DESIGN.md Section 14)
@@ -981,7 +1199,15 @@ class ExecutionContext:
             config = self.spmm_config(a, n, selector, fingerprint=fp)
         key = ("spmm", fp, n, config)
         return self._cached(
-            "spmm", backend, key, lambda: plan_spmm(a, n, self.device, config)
+            "spmm",
+            backend,
+            key,
+            lambda: plan_spmm(a, n, self.device, config),
+            repair=self._repairable_plan(
+                fp,
+                lambda parent_fp: ("spmm", parent_fp, n, config),
+                lambda plan, delta: repair_spmm_plan(plan, a, delta),
+            ),
         )
 
     def sddmm_plan(
@@ -1001,6 +1227,11 @@ class ExecutionContext:
             backend,
             key,
             lambda: plan_sddmm(mask, k, self.device, config),
+            repair=self._repairable_plan(
+                fp,
+                lambda parent_fp: ("sddmm", parent_fp, k, config),
+                lambda plan, delta: repair_sddmm_plan(plan, mask, delta),
+            ),
         )
 
     def sparse_softmax_plan(

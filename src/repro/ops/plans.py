@@ -21,6 +21,7 @@ from typing import Any, Callable, Hashable
 
 import numpy as np
 
+from ..core.repair import TopologyDelta, edited_rows, make_delta
 from ..reliability.errors import PlanCorruptionError
 
 
@@ -58,6 +59,9 @@ def matrix_fingerprint(matrix: Any) -> str:
     (``row_offsets``/``column_indices``) and CSC (``col_offsets``/
     ``row_indices``) matrices by duck typing.
     """
+    cached = getattr(matrix, "_structure_fp", None)
+    if cached is not None:
+        return cached
     if hasattr(matrix, "row_offsets"):
         kind = b"csr"
         offsets = matrix.row_offsets
@@ -78,6 +82,56 @@ def matrix_fingerprint(matrix: Any) -> str:
     h.update(np.ascontiguousarray(offsets).tobytes())
     h.update(np.ascontiguousarray(indices).tobytes())
     return h.hexdigest()
+
+
+def _stamp_fingerprint(matrix: Any, fp: str) -> None:
+    """Memoize ``fp`` on ``matrix`` (``_structure_fp``).
+
+    Only :func:`topology_delta` stamps: matrices flowing through the
+    dynamic-sparsity path are structurally immutable by contract (each
+    mutation builds a *new* child CSR), so re-hashing ~nnz bytes on every
+    plan lookup of a training step is pure waste. Matrices that never meet
+    a delta keep the hash-on-every-call behaviour, including the
+    documented in-place-mutation-changes-the-fingerprint property.
+    """
+    try:
+        object.__setattr__(matrix, "_structure_fp", fp)
+    except (AttributeError, TypeError):  # slots / exotic duck types
+        pass
+
+
+def topology_delta(
+    parent,
+    child,
+    rows: np.ndarray | None = None,
+    *,
+    values_preserved: bool = True,
+) -> TopologyDelta:
+    """Fingerprint-aware :class:`~repro.core.repair.TopologyDelta`.
+
+    ``rows`` is the edited row set when the caller tracked it (drop/grow
+    updates know exactly which rows they touched); when ``None`` the two
+    structures are diffed (O(nnz), vectorized). Register the result with a
+    context (:meth:`ExecutionContext.register_topology_delta`) to make the
+    child's plans repairable from the parent's.
+    """
+    if rows is None:
+        rows = edited_rows(parent, child)
+    parent_fp = matrix_fingerprint(parent)
+    child_fp = matrix_fingerprint(child)
+    # Memoize on both endpoints: the child is the next dispatch's operand
+    # (and the next mutation's parent), so every subsequent plan lookup —
+    # and the next step's delta — skips the O(nnz) hash.
+    _stamp_fingerprint(parent, parent_fp)
+    _stamp_fingerprint(child, child_fp)
+    return make_delta(
+        parent,
+        child,
+        rows,
+        parent_fp=parent_fp,
+        child_fp=child_fp,
+        values_preserved=values_preserved,
+    )
 
 
 class PlanCache:

@@ -54,7 +54,12 @@ from typing import Any, Callable
 #: (per-device row assignments, column ranges, and load accounting) under
 #: ``("shard_plan", ...)`` keys — older stores know nothing of the key
 #: family and must not serve stale entries to the sharded dispatch path.
-PLAN_STORE_VERSION = 5
+#: v6: dynamic-sparsity plan repair — plan dataclasses grew repair state
+#: (``SpmmPlan.col_counts``, ``SddmmPlan.row_order``/``col_counts``,
+#: ``ShardPlan.row_order``) and envelopes carry an optional repair
+#: ``lineage`` record, so v5 pickles would deserialize without the state
+#: the repair path expects to maintain incrementally.
+PLAN_STORE_VERSION = 6
 
 #: Magic tag identifying a plan-store envelope.
 _MAGIC = "repro-plan-store"
@@ -179,8 +184,17 @@ class PlanStore:
         value, _ = self.fetch(key)
         return value
 
-    def save(self, key: Any, value: Any) -> Path:
-        """Persist ``value`` under ``key`` (atomic, concurrency-safe)."""
+    def save(
+        self, key: Any, value: Any, lineage: dict | None = None
+    ) -> Path:
+        """Persist ``value`` under ``key`` (atomic, concurrency-safe).
+
+        ``lineage`` optionally records how a *repaired* plan came to be
+        (parent/child fingerprints, edited-row count): it rides in the
+        envelope for post-mortem inspection via :meth:`lineage` but plays
+        no part in validation — a repaired plan is bit-identical to a cold
+        one, so readers never need to care.
+        """
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         envelope = {
             "magic": _MAGIC,
@@ -189,6 +203,8 @@ class PlanStore:
             "checksum": hashlib.blake2b(payload, digest_size=16).hexdigest(),
             "payload": payload,
         }
+        if lineage is not None:
+            envelope["lineage"] = dict(lineage)
         path = self.path_for(key)
         fd, tmp = tempfile.mkstemp(
             dir=self.root, prefix=".tmp-", suffix=_SUFFIX
@@ -205,6 +221,27 @@ class PlanStore:
             raise
         self.stats.writes += 1
         return path
+
+    def lineage(self, key: Any) -> dict | None:
+        """Repair-lineage record of an entry, or ``None``.
+
+        ``None`` means the entry is absent, unreadable, or was written by
+        a cold build; only plans persisted by the repair path carry one.
+        """
+        path = self.path_for(key)
+        try:
+            envelope = pickle.loads(path.read_bytes())
+        except Exception:
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("magic") != _MAGIC
+            or envelope.get("version") != self.version
+            or envelope.get("key") != repr(key)
+        ):
+            return None
+        lineage = envelope.get("lineage")
+        return dict(lineage) if isinstance(lineage, dict) else None
 
     def get_or_build(
         self, key: Any, build: Callable[[], Any]

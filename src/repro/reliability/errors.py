@@ -82,6 +82,19 @@ class PlanCorruptionError(ReliabilityError):
         self.key = key
 
 
+class PlanRepairError(ReliabilityError):
+    """Incremental plan repair could not produce a consistent plan.
+
+    Raised when a repaired plan's invariants fail (column histogram drifts
+    from the matrix, delta rows out of range, parent state missing) or when
+    the fault injector targets a repair. Retryable: the dispatch layer
+    falls back to a cold re-plan from the (uncorrupted) child topology, so
+    a repair failure can never surface a corrupt plan.
+    """
+
+    retryable = True
+
+
 class DeviceOOMError(ReliabilityError):
     """A device allocation exceeded the remaining HBM capacity.
 

@@ -24,6 +24,10 @@ Fault kinds and the real-GPU failure they stand in for:
   at an arbitrary dispatch point, regardless of actual allocator state.
   Raised as :class:`~repro.reliability.errors.DeviceOOMError`; recovery
   runs the policy's degradation ladder (flush → evict → backend fallback).
+- ``"repair"`` — a failure mid plan-repair (the incremental dynamic-sparsity
+  path): raised as :class:`~repro.reliability.errors.PlanRepairError` from
+  the context's repair attempt, which falls back to a cold re-plan — the
+  chaos suite asserts a repair fault can never surface a corrupt plan.
 
 ``site="executor"`` moves a ``"launch"`` fault inside
 :func:`repro.gpu.executor.execute` (matched by launch name), so failures
@@ -42,9 +46,9 @@ from ..gpu.executor import (
     unregister_launch_observer,
 )
 from ..gpu.memory import flip_bit
-from .errors import DeviceOOMError, KernelLaunchError
+from .errors import DeviceOOMError, KernelLaunchError, PlanRepairError
 
-FAULT_KINDS = ("launch", "bitflip", "plan_poison", "latency", "oom")
+FAULT_KINDS = ("launch", "bitflip", "plan_poison", "latency", "oom", "repair")
 SITES = ("dispatch", "executor")
 
 
@@ -248,6 +252,29 @@ class FaultInjector:
         key = keys[int(self.rng.integers(len(keys)))]
         ctx.plans.poison(key)
         return f"poisoned {key[0]!r} entry"
+
+    def on_repair(self, ctx, op: str, backend: str) -> None:
+        """Called by the context before each plan-repair attempt.
+
+        Fires ``kind="repair"`` specs by raising
+        :class:`PlanRepairError`; the repair path catches it and falls
+        back to a cold re-plan, so the fault costs planning time only.
+        """
+        if not self.enabled:
+            return
+        for i, spec in enumerate(self.specs):
+            if spec.kind != "repair" or spec.site != "dispatch":
+                continue
+            if not self._matches_spec(spec, op, backend):
+                continue
+            if not self._should_fire(i, spec):
+                continue
+            self._record(spec, op, backend, "injected repair failure")
+            ctx.telemetry.record_fault(op, backend)
+            raise PlanRepairError(
+                f"injected plan-repair failure for {op}/{backend} "
+                f"(fault #{len(self.log) - 1})"
+            )
 
     def repair(self, operands=()) -> bool:
         """Undo pending metadata corruption (modelling a host re-upload).

@@ -187,8 +187,10 @@ class TestPartition:
 # ShardPlan caching through the two-tier plan store
 # ----------------------------------------------------------------------
 class TestShardPlanCache:
-    def test_store_version_is_5(self):
-        assert PLAN_STORE_VERSION == 5
+    def test_store_version_is_6(self):
+        # v6: ShardPlan carries row_order and envelopes can carry repair
+        # lineage, so v5 entries must be discarded, not reinterpreted.
+        assert PLAN_STORE_VERSION == 6
 
     def test_plan_round_trips_through_store(self, tmp_path, rng):
         a = power_law_csr(rng, 256, 256)
